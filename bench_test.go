@@ -1,0 +1,163 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (scaled down so `go test -bench=.` completes in minutes;
+// run cmd/privid-bench with -scale 1.0 for paper scale), plus
+// micro-benchmarks of the performance-critical primitives.
+//
+// Experiment benches report their headline metrics (accuracies,
+// reduction factors) via b.ReportMetric, so `-bench` output doubles as
+// a compact reproduction record.
+package privid_test
+
+import (
+	"testing"
+	"time"
+
+	"privid"
+	"privid/internal/dp"
+	"privid/internal/experiments"
+	"privid/internal/query"
+	"privid/internal/scene"
+	"privid/internal/video"
+	"privid/internal/vtime"
+)
+
+// benchScale keeps each experiment iteration to a few seconds. The
+// shapes (who wins, by what factor) are preserved; absolute accuracy
+// improves with scale since DP noise is scale-free but signals grow.
+const benchScale = 0.02
+
+func runExperiment(b *testing.B, id string) {
+	exp, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *experiments.Summary
+	for i := 0; i < b.N; i++ {
+		sum, err := exp.Run(experiments.Config{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sum
+	}
+	for _, k := range last.SortedKeys() {
+		b.ReportMetric(last.Metrics[k], k)
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkTable1_DurationEstimation(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2_SpatialSplit(b *testing.B)       { runExperiment(b, "table2") }
+func BenchmarkTable3_CaseStudies(b *testing.B)        { runExperiment(b, "table3") }
+func BenchmarkFig3_Heatmaps(b *testing.B)             { runExperiment(b, "fig3") }
+func BenchmarkFig4_PersistenceHistograms(b *testing.B) {
+	runExperiment(b, "fig4")
+}
+func BenchmarkFig5_HourlyCounts(b *testing.B) { runExperiment(b, "fig5") }
+func BenchmarkFig6_ChunkSweep(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFig7_WindowSweep(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig8_Degradation(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkTable6_MaskingExtended(b *testing.B) {
+	runExperiment(b, "table6")
+}
+
+// BenchmarkAblation_DesignChoices measures the end-to-end noise cost
+// of removing each design choice DESIGN.md calls out (masking, chunk
+// sizing, budget split).
+func BenchmarkAblation_DesignChoices(b *testing.B) { runExperiment(b, "ablation") }
+
+// Micro-benchmarks of the primitives the system's performance rests
+// on.
+
+// BenchmarkAlg1_BudgetLedger measures Algorithm 1's admission path:
+// check + charge of a query over a ledger already holding many
+// disjoint charges.
+func BenchmarkAlg1_BudgetLedger(b *testing.B) {
+	l := dp.NewLedger("cam", 1e6)
+	for i := int64(0); i < 5000; i++ {
+		l.Spend([]dp.Charge{{Interval: vtime.NewInterval(i*1000, i*1000+500), Eps: 0.1}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iv := vtime.NewInterval(int64(i%5000)*1000, int64(i%5000)*1000+800)
+		if err := l.Admit([]dp.Charge{{Interval: iv, Eps: 1e-6}}, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaplaceSample measures the noise sampler.
+func BenchmarkLaplaceSample(b *testing.B) {
+	n := dp.NewNoise(1)
+	for i := 0; i < b.N; i++ {
+		n.Laplace(42.0)
+	}
+}
+
+// BenchmarkQueryParse measures parsing Listing 1.
+func BenchmarkQueryParse(b *testing.B) {
+	src := `
+SPLIT camA BEGIN 12-01-2020/12:00am END 01-01-2021/12:00am
+  BY TIME 5sec STRIDE 0sec INTO chunksA;
+PROCESS chunksA USING model TIMEOUT 1sec PRODUCING 10 ROWS
+  WITH SCHEMA (plate:STRING="", color:STRING="", speed:NUMBER=0) INTO tableA;
+SELECT AVG(range(speed, 30, 60)) FROM tableA;
+SELECT color, COUNT(plate) FROM (SELECT plate, color FROM tableA GROUP BY plate)
+  GROUP BY color WITH KEYS ["RED", "WHITE", "SILVER"];`
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSceneFrame measures ground-truth frame synthesis on the
+// busiest profile.
+func BenchmarkSceneFrame(b *testing.B) {
+	s := scene.Generate(scene.Highway(), 1, 30*time.Minute)
+	src := &video.SceneSource{Camera: "h", Scene: s}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Frame(int64(i) % s.Frames)
+	}
+}
+
+// BenchmarkEndToEndQuery measures a complete small query: split,
+// sandboxed processing, aggregation, sensitivity, admission, noise.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	src := privid.NewSceneCamera("campus", privid.CampusProfile(), 1, 10*time.Minute)
+	prog, err := privid.Parse(`
+SPLIT campus BEGIN 3-15-2021/6:00am END 3-15-2021/6:10am
+  BY TIME 30sec STRIDE 0sec INTO c;
+PROCESS c USING headcount TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT AVG(range(n, 0, 30)) FROM t CONSUMING 0.0001;`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := privid.New(privid.Options{Seed: 1})
+	if err := engine.RegisterCamera(privid.CameraConfig{
+		Name: "campus", Source: src,
+		Policy:  privid.Policy{Rho: time.Minute, K: 2},
+		Epsilon: 1e9,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.Registry().Register("headcount", func(chunk *privid.Chunk) []privid.Row {
+		n := 0
+		for _, o := range chunk.Frame(chunk.Len() / 2).Objects {
+			if o.EntityID >= 0 {
+				n++
+			}
+		}
+		return []privid.Row{{privid.N(float64(n))}}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Execute(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command privid runs a Privid query against the synthetic evaluation
+// deployment (three cameras: campus, highway, urban).
+//
+// Usage:
+//
+//	privid -f query.pvq [-scale 0.1] [-seed 1] [-eval]
+//	echo "SELECT ..." | privid
+//
+// The deployment registers the standard analyst executables
+// (entrants_campus, entrants_highway, entrants_urban, trees, redlight,
+// south2north) and publishes masks "linger" and "light" per camera.
+// Run with -describe to print the cameras' policies and the query
+// window.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"privid/internal/experiments"
+	"privid/internal/query"
+)
+
+func main() {
+	var (
+		file     = flag.String("f", "", "query file (default: stdin)")
+		scale    = flag.Float64("scale", 0.1, "workload scale (1.0 = 12h of video)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		eval     = flag.Bool("eval", false, "evaluation mode: also print raw pre-noise values")
+		describe = flag.Bool("describe", false, "print camera policies and window, then exit")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *describe {
+		begin, end := experiments.EvalWindow(cfg)
+		fmt.Printf("query window: BEGIN %s END %s\n",
+			experiments.FormatTimestamp(begin), experiments.FormatTimestamp(end))
+		fmt.Print(experiments.DescribeEngine(cfg))
+		return
+	}
+
+	src, err := readQuery(*file)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := query.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := experiments.NewEvalEngine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := engine.Execute(prog)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range res.Releases {
+		switch {
+		case r.IsArgmax:
+			fmt.Printf("%-40s = %s", r.Desc, r.ArgmaxKey.Str())
+		default:
+			fmt.Printf("%-40s = %.3f", r.Desc, r.Value)
+		}
+		fmt.Printf("   (eps=%.3g, noise scale=%.3g", r.Epsilon, r.NoiseScale)
+		if *eval && r.RawSet && !r.IsArgmax {
+			fmt.Printf(", raw=%.3f", r.Raw)
+		}
+		fmt.Printf(")\n")
+	}
+	fmt.Printf("total privacy budget consumed: %.4g\n", res.EpsilonSpent)
+}
+
+func readQuery(file string) (string, error) {
+	if file == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(file)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "privid:", err)
+	os.Exit(1)
+}

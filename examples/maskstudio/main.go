@@ -1,0 +1,88 @@
+// Maskstudio: the video owner's workflow for choosing privacy
+// policies (§5.2, §7.1, Appendix F):
+//  1. estimate the max duration individuals are visible, using the
+//     imperfect CV pipeline (it over-estimates — the safe direction),
+//  2. run Algorithm 2 to build a ladder of masks trading coverage for
+//     a smaller ρ (and therefore less noise at the same privacy),
+//  3. publish the mask → policy map, and let an analyst pick from it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"privid"
+)
+
+func main() {
+	const dur = time.Hour
+	profile := privid.UrbanProfile()
+	camera := privid.NewSceneCamera("urban", profile, 9, dur)
+
+	// Step 1: duration estimation from historical video.
+	est := privid.EstimateMaxDuration(camera, profile, 9)
+	fmt.Printf("CV estimate of max visible duration: %.0f s\n", est)
+
+	// Step 2 + 3: Algorithm 2's greedy mask ladder, computed over the
+	// owner's historical footage (the same deterministic scene the
+	// camera replays).
+	scene := privid.GenerateScene(profile, 9, dur)
+	pm := privid.BuildMaskPolicyMap("urban", scene, 2, []float64{1, 2, 4, 8})
+	fmt.Println("published mask -> policy ladder:")
+	for _, e := range pm.Entries {
+		fmt.Printf("  %-12s masks %5.1f%% of frame -> policy %v\n",
+			e.ID, e.Mask.Fraction()*100, e.Policy)
+	}
+
+	// The analyst picks the entry with the smallest rho that masks at
+	// most 20% of the frame.
+	best, ok := pm.Best(0.20)
+	if !ok {
+		log.Fatal("no mask fits the analyst's constraint")
+	}
+	fmt.Printf("analyst's choice: %s (rho=%v)\n", best.ID, best.Policy.Rho.Round(time.Second))
+
+	// Register the camera with the ladder and run a query under the
+	// chosen mask: the sensitivity (and noise) now reflect its smaller rho.
+	engine := privid.New(privid.Options{Seed: 1})
+	err := engine.RegisterCamera(privid.CameraConfig{
+		Name:     "urban",
+		Source:   camera,
+		Policy:   privid.Policy{Rho: time.Duration(est * float64(time.Second)), K: 2},
+		Epsilon:  5,
+		Policies: pm,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = engine.Registry().Register("headcount", func(chunk *privid.Chunk) []privid.Row {
+		mid := chunk.Frame(chunk.Len() / 2)
+		n := 0
+		for _, o := range mid.Objects {
+			if o.EntityID >= 0 {
+				n++
+			}
+		}
+		return []privid.Row{{privid.N(float64(n))}}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := privid.Parse(fmt.Sprintf(`
+SPLIT urban BEGIN 3-15-2021/6:00am END 3-15-2021/7:00am
+    BY TIME 30sec STRIDE 0sec WITH MASK %s INTO c;
+PROCESS c USING headcount TIMEOUT 5sec PRODUCING 1 ROWS
+    WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT AVG(range(n, 0, 60)) FROM t CONSUMING 1;`, best.ID))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Execute(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.Releases[0]
+	fmt.Printf("avg concurrent pedestrians (masked, private): %.1f (noise scale %.2f)\n",
+		r.Value, r.NoiseScale)
+}

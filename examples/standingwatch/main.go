@@ -1,0 +1,81 @@
+// Standingwatch: a standing (streaming) query — Appendix D's "values
+// that depend upon future timestamps will be released as soon as
+// possible". A city dashboard subscribes to hourly pedestrian counts;
+// Privid releases each hour's noisy count as that hour's video
+// elapses, charging each hour's privacy budget exactly once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"privid"
+)
+
+func main() {
+	const window = 4 * time.Hour
+	engine := privid.New(privid.Options{Seed: 3})
+	err := engine.RegisterCamera(privid.CameraConfig{
+		Name:    "campus",
+		Source:  privid.NewSceneCamera("campus", privid.CampusProfile(), 7, window),
+		Policy:  privid.Policy{Rho: time.Minute, K: 2},
+		Epsilon: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = engine.Registry().Register("headcount", func(chunk *privid.Chunk) []privid.Row {
+		n := 0
+		for _, o := range chunk.Frame(chunk.Len() / 2).Objects {
+			if o.EntityID >= 0 {
+				n++
+			}
+		}
+		return []privid.Row{{privid.N(float64(n))}}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The standing query: average concurrent pedestrians per hour over
+	// the whole (partly future) window.
+	prog, err := privid.Parse(`
+SPLIT campus BEGIN 3-15-2021/6:00am END 3-15-2021/10:00am
+    BY TIME 30sec STRIDE 0sec INTO c;
+PROCESS c USING headcount TIMEOUT 5sec PRODUCING 1 ROWS
+    WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT AVG(range(n, 0, 30)) FROM (SELECT range(n,0,30) AS n, bin(chunk, 3600) AS hr FROM t)
+    GROUP BY hr CONSUMING 0.5;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sq, err := engine.Standing(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated wall clock: poll every 30 simulated minutes.
+	start := time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC)
+	for tick := 1; tick <= 9; tick++ {
+		now := start.Add(time.Duration(tick) * 30 * time.Minute)
+		res, err := sq.Advance(now)
+		if err != nil {
+			log.Fatalf("advance at %v: %v", now, err)
+		}
+		for _, r := range res.Releases {
+			fmt.Printf("[%s] released %s = %.1f (eps %.2f)\n",
+				now.Format("15:04"), r.Desc, r.Value, r.Epsilon)
+		}
+		if len(res.Releases) == 0 {
+			fmt.Printf("[%s] nothing new (current hour still accumulating)\n", now.Format("15:04"))
+		}
+	}
+	fmt.Printf("total hourly values released: %d\n", sq.Released())
+
+	// The owner's audit trail shows every interaction.
+	fmt.Println("audit log:")
+	for _, entry := range engine.AuditLog() {
+		fmt.Println("  ", entry)
+	}
+}

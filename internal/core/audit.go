@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// AuditEntry records one query execution attempt. The audit log is the
+// video owner's accountability record: it shows exactly how much
+// budget each analyst interaction consumed (or why it was denied)
+// without revealing anything about the video content beyond what the
+// releases themselves already did.
+type AuditEntry struct {
+	// At is when the engine finished handling the query.
+	At time.Time
+	// Cameras lists the cameras the query touched.
+	Cameras []string
+	// Releases is the number of data releases produced (0 on denial).
+	Releases int
+	// EpsilonSpent is the total budget consumed (0 on denial).
+	EpsilonSpent float64
+	// Denied reports whether admission failed.
+	Denied bool
+	// Reason holds the denial reason (empty on success).
+	Reason string
+}
+
+// String renders the entry as a log line.
+func (a AuditEntry) String() string {
+	status := fmt.Sprintf("ok: %d releases, eps=%.4g", a.Releases, a.EpsilonSpent)
+	if a.Denied {
+		status = "DENIED: " + a.Reason
+	}
+	return fmt.Sprintf("%s cameras=[%s] %s",
+		a.At.Format(time.RFC3339), strings.Join(a.Cameras, ","), status)
+}
+
+// AuditLog returns a copy of the engine's audit entries in execution
+// order.
+func (e *Engine) AuditLog() []AuditEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]AuditEntry(nil), e.audit...)
+}
+
+// recordAudit appends an entry. Caller holds e.mu.
+func (e *Engine) recordAudit(entry AuditEntry) {
+	entry.At = e.clock()
+	e.audit = append(e.audit, entry)
+}
+
+// clock returns the current time; tests may override it via Options.
+func (e *Engine) clock() time.Time {
+	if e.opts.Now != nil {
+		return e.opts.Now()
+	}
+	return time.Now()
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"privid/internal/policy"
+	"privid/internal/query"
+	"privid/internal/video"
+)
+
+func TestAuditLog(t *testing.T) {
+	s := countScene(10)
+	fixed := time.Date(2026, 6, 13, 12, 0, 0, 0, time.UTC)
+	e := New(Options{Seed: 1, Now: func() time.Time { return fixed }})
+	if err := e.RegisterCamera(CameraConfig{
+		Name:    "camA",
+		Source:  &video.SceneSource{Camera: "camA", Scene: s},
+		Policy:  policy.Policy{Rho: 25 * time.Second, K: 1},
+		Epsilon: 1.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Registry().Register("counter", countNewEntrants); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := query.Parse(countQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Second query exceeds the 1.5 budget (each consumes 1.0).
+	if _, err := e.Execute(prog); err == nil {
+		t.Fatal("second query should be denied")
+	}
+	log := e.AuditLog()
+	if len(log) != 2 {
+		t.Fatalf("%d audit entries, want 2", len(log))
+	}
+	ok, denied := log[0], log[1]
+	if ok.Denied || ok.Releases != 1 || ok.EpsilonSpent != 1 {
+		t.Errorf("success entry: %+v", ok)
+	}
+	if !denied.Denied || denied.EpsilonSpent != 0 || denied.Reason == "" {
+		t.Errorf("denial entry: %+v", denied)
+	}
+	if len(ok.Cameras) != 1 || ok.Cameras[0] != "camA" {
+		t.Errorf("cameras: %v", ok.Cameras)
+	}
+	if !ok.At.Equal(fixed) {
+		t.Errorf("timestamp: %v", ok.At)
+	}
+	// Log lines render both outcomes.
+	if !strings.Contains(ok.String(), "ok: 1 releases") {
+		t.Errorf("success line: %s", ok.String())
+	}
+	if !strings.Contains(denied.String(), "DENIED") {
+		t.Errorf("denial line: %s", denied.String())
+	}
+	// The returned slice is a copy.
+	log[0].Releases = 999
+	if e.AuditLog()[0].Releases == 999 {
+		t.Errorf("AuditLog leaked internal state")
+	}
+}

@@ -1,0 +1,162 @@
+// Package core is the Privid engine: it registers cameras with their
+// privacy policies, budgets, mask policy maps and region schemes, and
+// executes analyst queries end to end per Algorithm 1 — budget
+// admission with the ρ margin, temporal (and optional spatial)
+// splitting, sandboxed processing into untrusted intermediate tables,
+// SQL aggregation with the Fig. 10 sensitivity calculus, and Laplace
+// noise on every data release.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"privid/internal/dp"
+	"privid/internal/mask"
+	"privid/internal/policy"
+	"privid/internal/region"
+	"privid/internal/sandbox"
+	"privid/internal/video"
+)
+
+// CameraConfig registers one camera with the engine. All fields except
+// Schemes and Policies are required.
+type CameraConfig struct {
+	Name   string
+	Source video.Source
+	// Policy is the camera's default (no-mask) privacy policy (ρ, K).
+	Policy policy.Policy
+	// Epsilon is the per-frame privacy budget εC (§6.4).
+	Epsilon float64
+	// Policies optionally maps published mask IDs to (mask, policy)
+	// pairs (§7.1, Appendix F.2). Queries choose a mask with
+	// WITH MASK <id>.
+	Policies *mask.PolicyMap
+	// Schemes optionally lists spatial-splitting schemes (§7.2).
+	// Queries choose one with BY REGION <name>.
+	Schemes map[string]region.Scheme
+	// GridSchemes optionally lists Grid Split schemes (§7.2's
+	// extension): uniform grids usable with any chunk size, whose
+	// sensitivity impact is derived from the owner's object-size and
+	// speed bounds. Names share the BY REGION namespace with Schemes.
+	GridSchemes map[string]region.GridScheme
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Seed drives the Laplace sampler (deterministic for experiments;
+	// a deployment would use a cryptographically secure source).
+	Seed int64
+	// DefaultQueryEpsilon is the total budget a SELECT consumes when
+	// it carries no CONSUMING directive; it is divided evenly across
+	// the SELECT's releases. The paper's evaluation uses ε = 1 per
+	// query.
+	DefaultQueryEpsilon float64
+	// Evaluation additionally reports each release's raw (pre-noise)
+	// value. It exists only for accuracy studies against a non-private
+	// baseline and must be off in any real deployment.
+	Evaluation bool
+	// Parallelism bounds concurrent chunk processing (0 = serial).
+	Parallelism int
+	// Now overrides the audit-log clock (tests only; nil = time.Now).
+	Now func() time.Time
+}
+
+// Engine is a Privid deployment: a set of cameras and a registry of
+// analyst executables. Engines are safe for concurrent query
+// execution; budget admission is serialized.
+type Engine struct {
+	opts     Options
+	registry *sandbox.Registry
+
+	mu      sync.Mutex
+	cameras map[string]*camera
+	noise   *dp.Noise
+	audit   []AuditEntry
+}
+
+type camera struct {
+	cfg    CameraConfig
+	ledger *dp.Ledger
+}
+
+// New returns an engine with no cameras.
+func New(opts Options) *Engine {
+	if opts.DefaultQueryEpsilon <= 0 {
+		opts.DefaultQueryEpsilon = 1.0
+	}
+	return &Engine{
+		opts:     opts,
+		registry: sandbox.NewRegistry(),
+		cameras:  map[string]*camera{},
+		noise:    dp.NewNoise(opts.Seed),
+	}
+}
+
+// Registry returns the executable registry analysts register their
+// processing code in.
+func (e *Engine) Registry() *sandbox.Registry { return e.registry }
+
+// RegisterCamera adds a camera. The name must be unique and the policy
+// and budget valid.
+func (e *Engine) RegisterCamera(cfg CameraConfig) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("core: camera name required")
+	}
+	if cfg.Source == nil {
+		return fmt.Errorf("core: camera %q has no source", cfg.Name)
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return fmt.Errorf("core: camera %q: %w", cfg.Name, err)
+	}
+	if cfg.Epsilon <= 0 {
+		return fmt.Errorf("core: camera %q: epsilon must be positive", cfg.Name)
+	}
+	for name, sch := range cfg.Schemes {
+		if err := sch.Validate(); err != nil {
+			return fmt.Errorf("core: camera %q scheme %q: %w", cfg.Name, name, err)
+		}
+	}
+	for name, g := range cfg.GridSchemes {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("core: camera %q grid scheme %q: %w", cfg.Name, name, err)
+		}
+		if _, dup := cfg.Schemes[name]; dup {
+			return fmt.Errorf("core: camera %q: scheme %q defined both as region and grid scheme", cfg.Name, name)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.cameras[cfg.Name]; ok {
+		return fmt.Errorf("core: camera %q already registered", cfg.Name)
+	}
+	e.cameras[cfg.Name] = &camera{
+		cfg:    cfg,
+		ledger: dp.NewLedger(cfg.Name, cfg.Epsilon),
+	}
+	return nil
+}
+
+// Remaining returns the remaining per-frame budget of a camera at a
+// frame (for owner-side monitoring and tests).
+func (e *Engine) Remaining(cameraName string, frame int64) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cam, ok := e.cameras[cameraName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown camera %q", cameraName)
+	}
+	return cam.ledger.Remaining(frame), nil
+}
+
+// lookupCamera returns a registered camera.
+func (e *Engine) lookupCamera(name string) (*camera, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cam, ok := e.cameras[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown camera %q", name)
+	}
+	return cam, nil
+}

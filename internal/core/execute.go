@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"privid/internal/dp"
+	"privid/internal/policy"
+	"privid/internal/query"
+	"privid/internal/rel"
+	"privid/internal/sandbox"
+	"privid/internal/table"
+	"privid/internal/video"
+	"privid/internal/vtime"
+)
+
+// ReleaseResult is one noised data release returned to the analyst.
+type ReleaseResult struct {
+	// Desc describes the aggregation, e.g. "COUNT(plate)[color=RED]".
+	Desc string
+	// Key is the group key for GROUP BY releases.
+	Key    table.Value
+	HasKey bool
+	// Value is the released (noisy) number. For ARGMAX releases the
+	// released value is ArgmaxKey instead.
+	Value float64
+	// ArgmaxKey is the winning key of an ARGMAX release.
+	ArgmaxKey table.Value
+	// RawArgmaxKey is the pre-noise winner; populated only in
+	// Evaluation mode.
+	RawArgmaxKey table.Value
+	IsArgmax     bool
+	// NoiseScale is the Laplace scale b = Δ/ε applied.
+	NoiseScale float64
+	// Epsilon is the budget the release consumed.
+	Epsilon float64
+	// Sensitivity is Δ(Q).
+	Sensitivity float64
+	// Raw is the pre-noise value; populated only in Evaluation mode.
+	Raw float64
+	// RawSet marks that Raw is meaningful.
+	RawSet bool
+}
+
+// Result is the outcome of executing a program.
+type Result struct {
+	Releases []ReleaseResult
+	// EpsilonSpent is the total budget the program consumed (sum over
+	// releases).
+	EpsilonSpent float64
+}
+
+// splitPlan is a resolved SPLIT statement: one video.Split per region
+// (a single entry with empty region name when unsplit).
+type splitPlan struct {
+	stmt     *query.SplitStmt
+	cam      *camera
+	pol      policy.Policy // effective (mask-adjusted) policy
+	interval vtime.Interval
+	chunkF   int64
+	strideF  int64
+	splits   []video.Split // one per region
+	regions  int           // 0 when not region-split
+	// regionsPerEvent is the max region-chunks one individual can
+	// influence per temporal chunk (>1 only under Grid Split).
+	regionsPerEvent int
+}
+
+// Execute runs a parsed program end to end and returns its noised
+// releases. On budget exhaustion the query is denied as a whole and
+// nothing is consumed.
+func (e *Engine) Execute(prog *query.Program) (*Result, error) {
+	return e.execute(prog, nil)
+}
+
+// execute optionally filters which releases are emitted (and paid
+// for); a nil filter keeps everything. Standing queries use the filter
+// to release only newly completed buckets (Appendix D's streaming
+// semantics).
+func (e *Engine) execute(prog *query.Program, keep func(rel.Release) bool) (*Result, error) {
+	plans := map[string]*splitPlan{}
+	for _, st := range prog.Splits {
+		p, err := e.resolveSplit(st)
+		if err != nil {
+			return nil, err
+		}
+		plans[st.Into] = p
+	}
+
+	env := rel.Env{}
+	for _, st := range prog.Processes {
+		inst, err := e.runProcess(st, plans[st.Input])
+		if err != nil {
+			return nil, err
+		}
+		env[st.Into] = inst
+	}
+
+	// Execute every SELECT to releases first, then admit the whole
+	// program's budget atomically, then add noise.
+	type pending struct {
+		rel rel.Release
+	}
+	var pendings []pending
+	for _, st := range prog.Selects {
+		rels, err := rel.ExecuteSelect(st, env)
+		if err != nil {
+			return nil, err
+		}
+		epsDefault := e.opts.DefaultQueryEpsilon / float64(len(rels))
+		for _, r := range rels {
+			if st.Consuming > 0 {
+				r.Epsilon = st.Consuming
+			} else {
+				r.Epsilon = epsDefault
+			}
+			if keep != nil && !keep(r) {
+				continue
+			}
+			pendings = append(pendings, pending{rel: r})
+		}
+	}
+
+	// Build per-camera charges.
+	charges := map[string][]dp.Charge{}
+	for _, p := range pendings {
+		for _, camName := range p.rel.Cameras {
+			cam, err := e.lookupCamera(camName)
+			if err != nil {
+				return nil, err
+			}
+			clock := cam.cfg.Source.Info().Clock()
+			iv := vtime.NewInterval(clock.FrameAt(p.rel.Begin), clock.FrameAt(p.rel.End))
+			charges[camName] = append(charges[camName], dp.Charge{Interval: iv, Eps: p.rel.Epsilon})
+		}
+	}
+	camNames := make([]string, 0, len(charges))
+	for camName := range charges {
+		camNames = append(camNames, camName)
+	}
+	sort.Strings(camNames)
+
+	// Admission: check everything, then spend everything (Algorithm 1
+	// lines 1–5, atomic across cameras).
+	e.mu.Lock()
+	for _, camName := range camNames {
+		cam := e.cameras[camName]
+		rho := cam.cfg.Policy.RhoFrames(cam.cfg.Source.Info().FPS)
+		if err := cam.ledger.Check(charges[camName], rho); err != nil {
+			e.recordAudit(AuditEntry{Cameras: camNames, Denied: true, Reason: err.Error()})
+			e.mu.Unlock()
+			return nil, err
+		}
+	}
+	for _, camName := range camNames {
+		e.cameras[camName].ledger.Spend(charges[camName])
+	}
+	res := &Result{}
+	for _, p := range pendings {
+		res.Releases = append(res.Releases, e.noiseRelease(p.rel))
+		res.EpsilonSpent += p.rel.Epsilon
+	}
+	e.recordAudit(AuditEntry{
+		Cameras:      camNames,
+		Releases:     len(res.Releases),
+		EpsilonSpent: res.EpsilonSpent,
+	})
+	e.mu.Unlock()
+	return res, nil
+}
+
+// noiseRelease applies the Laplace mechanism (or noisy-max for ARGMAX)
+// to one release. Caller holds e.mu (the noise stream is shared).
+func (e *Engine) noiseRelease(r rel.Release) ReleaseResult {
+	out := ReleaseResult{
+		Desc:        r.Desc,
+		Key:         r.Key,
+		HasKey:      r.HasKey,
+		Epsilon:     r.Epsilon,
+		Sensitivity: r.Sensitivity,
+		NoiseScale:  dp.LaplaceScale(r.Sensitivity, r.Epsilon),
+	}
+	if len(r.Scores) > 0 {
+		out.IsArgmax = true
+		best := 0
+		bestScore := 0.0
+		for i, s := range r.Scores {
+			noisy := s.Raw + e.noise.Laplace(out.NoiseScale)
+			if i == 0 || noisy > bestScore {
+				best = i
+				bestScore = noisy
+			}
+		}
+		out.ArgmaxKey = r.Scores[best].Key
+		if e.opts.Evaluation {
+			// Raw winner for accuracy studies.
+			rawBest := 0
+			for i, s := range r.Scores {
+				if s.Raw > r.Scores[rawBest].Raw {
+					rawBest = i
+				}
+			}
+			out.RawArgmaxKey = r.Scores[rawBest].Key
+			out.RawSet = true
+		}
+		return out
+	}
+	out.Value = r.Raw + e.noise.Laplace(out.NoiseScale)
+	if e.opts.Evaluation {
+		out.Raw = r.Raw
+		out.RawSet = true
+	}
+	return out
+}
+
+// resolveSplit turns a SPLIT statement into concrete chunking plans.
+func (e *Engine) resolveSplit(st *query.SplitStmt) (*splitPlan, error) {
+	cam, err := e.lookupCamera(st.Camera)
+	if err != nil {
+		return nil, err
+	}
+	info := cam.cfg.Source.Info()
+	clock := info.Clock()
+
+	iv := vtime.NewInterval(clock.FrameAt(st.Begin), clock.FrameAt(st.End))
+	iv = iv.Intersect(info.Bounds())
+	if iv.Empty() {
+		return nil, fmt.Errorf("core: SPLIT window %v–%v is outside camera %q's stream", st.Begin, st.End, st.Camera)
+	}
+
+	toFrames := func(d query.Dur) (int64, error) {
+		if d.IsFrames {
+			return d.Frames, nil
+		}
+		return info.FPS.Frames(time.Duration(d.Seconds * float64(time.Second)))
+	}
+	chunkF, err := toFrames(st.Chunk)
+	if err != nil {
+		return nil, fmt.Errorf("core: chunk duration: %w", err)
+	}
+	if chunkF <= 0 {
+		return nil, fmt.Errorf("core: chunk duration must be at least one frame")
+	}
+	strideF, err := toFrames(st.Stride)
+	if err != nil {
+		return nil, fmt.Errorf("core: stride: %w", err)
+	}
+
+	// Resolve the mask: the effective policy comes from the published
+	// policy map entry; no mask means the camera default.
+	src := cam.cfg.Source
+	pol := cam.cfg.Policy
+	if st.Mask != "" {
+		if cam.cfg.Policies == nil {
+			return nil, fmt.Errorf("core: camera %q publishes no masks", st.Camera)
+		}
+		entry, ok := cam.cfg.Policies.Lookup(st.Mask)
+		if !ok {
+			return nil, fmt.Errorf("core: camera %q has no mask %q", st.Camera, st.Mask)
+		}
+		src = video.Masked(src, entry.Mask)
+		pol = entry.Policy
+	}
+
+	plan := &splitPlan{
+		stmt: st, cam: cam, pol: pol,
+		interval: iv, chunkF: chunkF, strideF: strideF,
+	}
+
+	if st.Region != "" {
+		sch, ok := cam.cfg.Schemes[st.Region]
+		switch {
+		case ok:
+			// Soft boundaries require chunk size 1 so an individual
+			// can be in at most one chunk at a time (§7.2).
+			if !sch.Hard && chunkF != 1 {
+				return nil, fmt.Errorf("core: scheme %q has soft boundaries; BY REGION requires BY TIME 1frame", st.Region)
+			}
+			plan.regionsPerEvent = 1
+		default:
+			// Grid Split (§7.2 extension): any chunk size, with the
+			// per-event region count derived from the owner's
+			// object-size and speed bounds.
+			g, gok := cam.cfg.GridSchemes[st.Region]
+			if !gok {
+				return nil, fmt.Errorf("core: camera %q has no region scheme %q", st.Camera, st.Region)
+			}
+			sch = g.Scheme()
+			plan.regionsPerEvent = g.RegionsPerChunk(chunkF, info.FPS)
+		}
+		for name, rsrc := range sch.Sources(src) {
+			plan.splits = append(plan.splits, video.Split{
+				Source:       rsrc,
+				Interval:     iv,
+				ChunkFrames:  chunkF,
+				StrideFrames: strideF,
+				Region:       name,
+			})
+		}
+		plan.regions = len(sch.Regions)
+	} else {
+		plan.splits = []video.Split{{
+			Source:       src,
+			Interval:     iv,
+			ChunkFrames:  chunkF,
+			StrideFrames: strideF,
+		}}
+	}
+	return plan, nil
+}
+
+// runProcess executes the analyst's executable over every chunk of the
+// plan and materializes the intermediate table.
+func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instance, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("core: PROCESS input %q has no SPLIT", st.Input)
+	}
+	fn, ok := e.registry.Lookup(st.Using)
+	if !ok {
+		return nil, fmt.Errorf("core: executable %q not registered", st.Using)
+	}
+	cols := make([]table.Column, len(st.Schema))
+	for i, c := range st.Schema {
+		cols[i] = table.Column{Name: c.Name, Type: c.Type, Default: c.Default}
+	}
+	schema, err := table.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("core: PROCESS schema: %w", err)
+	}
+	exec := &sandbox.Executor{
+		Fn:      fn,
+		Timeout: st.Timeout,
+		MaxRows: st.MaxRows,
+		Schema:  schema,
+	}
+
+	hasRegion := plan.regions > 0
+	full := schema.WithImplicit(hasRegion)
+	data := table.New(full)
+
+	info := plan.cam.cfg.Source.Info()
+	for _, split := range plan.splits {
+		ords := split.ActiveChunks()
+		rowsByOrd := make([][]table.Row, len(ords))
+		process := func(i int) {
+			chunk := split.ChunkAt(ords[i])
+			rows := exec.Run(chunk)
+			stamped := make([]table.Row, len(rows))
+			ts := table.N(float64(chunk.Start.Unix()))
+			for j, r := range rows {
+				r = append(r, ts)
+				if hasRegion {
+					r = append(r, table.S(split.Region))
+				}
+				stamped[j] = r
+			}
+			rowsByOrd[i] = stamped
+		}
+		if e.opts.Parallelism > 1 && len(ords) > 1 {
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, e.opts.Parallelism)
+			for i := range ords {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					process(i)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := range ords {
+				process(i)
+			}
+		}
+		for _, rows := range rowsByOrd {
+			data.Append(rows...)
+		}
+	}
+
+	clock := info.Clock()
+	meta := rel.TableMeta{
+		Name:            st.Into,
+		Camera:          plan.cam.cfg.Name,
+		MaxRows:         st.MaxRows,
+		ChunkFrames:     plan.chunkF,
+		StrideFrames:    plan.strideF,
+		FPS:             info.FPS,
+		NumChunks:       plan.splits[0].NumChunks(),
+		Begin:           clock.TimeOf(plan.interval.Start),
+		End:             clock.TimeOf(plan.interval.End),
+		Policy:          plan.pol,
+		Regions:         plan.regions,
+		RegionsPerEvent: plan.regionsPerEvent,
+	}
+	return &rel.Instance{Meta: meta, Data: data}, nil
+}

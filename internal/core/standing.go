@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"privid/internal/query"
+	"privid/internal/rel"
+)
+
+// StandingQuery is a long-running query over live video (Appendix D:
+// SPLIT windows "may be in the past or future... any values that
+// depend upon future timestamps will be released as soon as possible
+// after all of the timestamps needed have elapsed").
+//
+// Each Advance releases — and pays budget for — exactly the data
+// releases whose time span has fully elapsed and that have not been
+// released before, so a standing hourly count over a year consumes
+// each hour's budget once, as that hour's video arrives.
+type StandingQuery struct {
+	engine   *Engine
+	prog     *query.Program
+	released map[string]bool
+}
+
+// Standing prepares a standing query. The program must use trusted
+// time-bucket grouping (bin/hour/day of chunk) or explicit keys so its
+// release set is data-independent; any program Execute accepts works.
+func (e *Engine) Standing(prog *query.Program) (*StandingQuery, error) {
+	if prog == nil || len(prog.Selects) == 0 {
+		return nil, fmt.Errorf("core: standing query needs at least one SELECT")
+	}
+	return &StandingQuery{
+		engine:   e,
+		prog:     prog,
+		released: map[string]bool{},
+	}, nil
+}
+
+// releaseKey identifies one release across Advance calls.
+func releaseKey(r rel.Release) string {
+	return r.Desc + "\x00" + r.Key.Key()
+}
+
+// Advance processes video up to `now` and returns the newly completed
+// releases. Releases whose span extends past `now` stay pending; each
+// release is returned (and charged) exactly once across the query's
+// lifetime. Calling Advance with non-increasing times is allowed —
+// nothing new is released.
+func (sq *StandingQuery) Advance(now time.Time) (*Result, error) {
+	var newly []string
+	res, err := sq.engine.execute(sq.prog, func(r rel.Release) bool {
+		if r.End.After(now) {
+			return false // bucket still accumulating
+		}
+		k := releaseKey(r)
+		if sq.released[k] {
+			return false
+		}
+		newly = append(newly, k)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Mark only after a fully successful (admitted) execution, so a
+	// denied Advance can be retried later without losing releases.
+	for _, k := range newly {
+		sq.released[k] = true
+	}
+	return res, nil
+}
+
+// Released returns how many releases the standing query has emitted so
+// far.
+func (sq *StandingQuery) Released() int { return len(sq.released) }

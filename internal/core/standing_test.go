@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"privid/internal/policy"
+	"privid/internal/query"
+)
+
+const standingQuery = `
+SPLIT camA BEGIN 03-15-2021/6:00am END 03-15-2021/10:00am
+  BY TIME 30sec STRIDE 0sec INTO chunks;
+PROCESS chunks USING counter TIMEOUT 5sec PRODUCING 20 ROWS
+  WITH SCHEMA (one:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM (SELECT bin(chunk, 3600) AS hr FROM t) GROUP BY hr;`
+
+func TestStandingQueryIncrementalReleases(t *testing.T) {
+	s := countScene(200)
+	e := newTestEngine(t, s, policy.Policy{Rho: 25 * time.Second, K: 1}, 10)
+	prog, err := query.Parse(standingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := e.Standing(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC)
+
+	// Nothing has elapsed yet.
+	res, err := sq.Advance(start.Add(30 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Releases) != 0 {
+		t.Fatalf("early advance released %d values", len(res.Releases))
+	}
+
+	// The first hour completes.
+	res, err = sq.Advance(start.Add(61 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Releases) != 1 {
+		t.Fatalf("after 1h: %d releases, want 1", len(res.Releases))
+	}
+	if res.Releases[0].Raw != 60 { // one entrant per minute
+		t.Errorf("hour-0 raw=%v, want 60", res.Releases[0].Raw)
+	}
+
+	// Re-advancing to the same point releases nothing new (and
+	// consumes nothing).
+	res, err = sq.Advance(start.Add(61 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Releases) != 0 || res.EpsilonSpent != 0 {
+		t.Fatalf("idempotent advance released %d values, spent %v", len(res.Releases), res.EpsilonSpent)
+	}
+
+	// Jumping to the end releases the remaining three hours at once.
+	res, err = sq.Advance(start.Add(5 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Releases) != 3 {
+		t.Fatalf("final advance: %d releases, want 3", len(res.Releases))
+	}
+	if sq.Released() != 4 {
+		t.Errorf("Released()=%d, want 4", sq.Released())
+	}
+}
+
+func TestStandingQueryBudgetChargedOnce(t *testing.T) {
+	s := countScene(200)
+	e := newTestEngine(t, s, policy.Policy{Rho: 25 * time.Second, K: 1}, 10)
+	prog, err := query.Parse(standingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := e.Standing(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC)
+	for i := 1; i <= 8; i++ {
+		if _, err := sq.Advance(start.Add(time.Duration(i) * 30 * time.Minute)); err != nil {
+			t.Fatalf("advance %d: %v", i, err)
+		}
+	}
+	// Each frame of hour 0 was charged exactly once, by its own
+	// release (0.25 of the default 1.0 split across 4 buckets).
+	rem, err := e.Remaining("camA", 10000) // frame within hour 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem != 10-0.25 {
+		t.Errorf("remaining=%v, want 9.75 (single charge)", rem)
+	}
+}
+
+func TestStandingQueryDenialRetry(t *testing.T) {
+	s := countScene(200)
+	// Budget allows the per-bucket charge (0.25) but we drain hour 2
+	// (8-9am) first with a one-off query. The standing query's hour-0
+	// bucket is then fine, but the hour-1 bucket's rho margin reaches
+	// into the drained hour and is denied — verify the denial did not
+	// mark hour 1 as released.
+	e := newTestEngine(t, s, policy.Policy{Rho: 25 * time.Second, K: 1}, 1)
+	drain := `
+SPLIT camA BEGIN 03-15-2021/8:00am END 03-15-2021/9:00am
+  BY TIME 30sec STRIDE 0sec INTO chunks;
+PROCESS chunks USING counter TIMEOUT 5sec PRODUCING 20 ROWS
+  WITH SCHEMA (one:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.9;`
+	progDrain, err := query.Parse(drain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(progDrain); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := query.Parse(standingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := e.Standing(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC)
+	// Hour 0 fits (0.25 <= 1.0 budget)...
+	res, err := sq.Advance(start.Add(61 * time.Minute))
+	if err != nil {
+		t.Fatalf("hour-0 advance: %v", err)
+	}
+	if len(res.Releases) != 1 {
+		t.Fatalf("hour-0 releases=%d", len(res.Releases))
+	}
+	// ...hour 1 is denied (0.9 + 0.25 > 1.0), atomically.
+	if _, err := sq.Advance(start.Add(2*time.Hour + time.Minute)); err == nil {
+		t.Fatalf("hour-1 advance should be denied")
+	}
+	// The denial must not have marked hour 1 released.
+	if sq.Released() != 1 {
+		t.Errorf("Released()=%d after denial, want 1", sq.Released())
+	}
+}

@@ -1,0 +1,83 @@
+package cv
+
+import (
+	"privid/internal/video"
+	"privid/internal/vtime"
+)
+
+// DurationReport is the owner-side estimation result used to choose a
+// (ρ, K) policy (§5.2, Table 1).
+type DurationReport struct {
+	// Tracks are the completed CV tracks.
+	Tracks []Track
+	// MaxSeconds is the CV estimate of the maximum duration any
+	// individual is visible — the value the owner would use as ρ.
+	MaxSeconds float64
+	// VisibleObjects and DetectedObjects count, summed over frames,
+	// ground-truth private objects and the detector's true detections.
+	// Their ratio gives the per-frame miss rate of Table 1.
+	VisibleObjects  int64
+	DetectedObjects int64
+}
+
+// MissedFraction returns the fraction of per-frame object instances the
+// detector failed to detect (Table 1's "% Objects CV Missed").
+func (r DurationReport) MissedFraction() float64 {
+	if r.VisibleObjects == 0 {
+		return 0
+	}
+	missed := r.VisibleObjects - r.DetectedObjects
+	if missed < 0 {
+		missed = 0
+	}
+	return float64(missed) / float64(r.VisibleObjects)
+}
+
+// DurationSeconds returns all track durations in seconds at the given
+// frame rate (the persistence distribution of Fig. 4).
+func (r DurationReport) DurationSeconds(fps vtime.FrameRate) []float64 {
+	out := make([]float64, len(r.Tracks))
+	for i, t := range r.Tracks {
+		out[i] = fps.Seconds(t.Frames())
+	}
+	return out
+}
+
+// EstimateDurations runs the detector+tracker pipeline over [iv] of
+// src, processing every stride-th frame, and reports the resulting
+// duration estimates. stride > 1 trades temporal resolution for speed
+// on long streams; MaxAge in TrackerParams is interpreted in source
+// frames regardless of stride.
+func EstimateDurations(src video.Source, iv vtime.Interval, dp DetectorParams, tp TrackerParams, seed, stride int64) DurationReport {
+	if stride < 1 {
+		stride = 1
+	}
+	info := src.Info()
+	det := NewDetector(dp, info.W, info.H, seed)
+	trk := NewTracker(tp)
+	var rep DurationReport
+	for f := iv.Start; f < iv.End; f += stride {
+		frame := src.Frame(f)
+		for _, o := range frame.Objects {
+			if o.Class.Private() {
+				rep.VisibleObjects++
+			}
+		}
+		dets := det.Detect(frame)
+		for _, d := range dets {
+			if !d.FalsePositive {
+				rep.DetectedObjects++
+			}
+		}
+		trk.Observe(f, dets)
+	}
+	rep.Tracks = trk.Flush()
+	var maxFrames int64
+	for _, t := range rep.Tracks {
+		if fr := t.Frames(); fr > maxFrames {
+			maxFrames = fr
+		}
+	}
+	rep.MaxSeconds = info.FPS.Seconds(maxFrames)
+	return rep
+}

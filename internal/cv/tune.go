@@ -1,0 +1,120 @@
+package cv
+
+import (
+	"math"
+	"sort"
+
+	"privid/internal/video"
+	"privid/internal/vtime"
+)
+
+// This file reproduces Appendix A's hyperparameter tuning: the video
+// owner runs the tracker with every combination of hyperparameters
+// (Tables 4–5 list the grids) against a manually annotated ground-
+// truth segment, and keeps the configuration whose *duration
+// distribution* most closely matches the annotation. The owner does
+// not need per-frame tracking accuracy — only a distribution of
+// durations good enough to bound ρ.
+
+// TuneResult is one evaluated configuration.
+type TuneResult struct {
+	Params TrackerParams
+	// Distance is the Kolmogorov–Smirnov statistic between the tracked
+	// and ground-truth duration distributions (0 = identical).
+	Distance float64
+	// MaxSeconds is the configuration's max-duration estimate.
+	MaxSeconds float64
+}
+
+// DefaultTuneGrid mirrors the shape of the paper's Tables 4–5: a grid
+// over association threshold, track lifetime and confirmation count.
+func DefaultTuneGrid() []TrackerParams {
+	var grid []TrackerParams
+	for _, iou := range []float64{0.1, 0.2, 0.3} {
+		for _, age := range []int64{30, 90, 150} {
+			for _, hits := range []int{2, 3, 5} {
+				grid = append(grid, TrackerParams{
+					IoUThreshold: iou, MaxAge: age, MinHits: hits, DistGate: 50,
+				})
+			}
+		}
+	}
+	return grid
+}
+
+// Tune evaluates every configuration in the grid over [iv] of src and
+// returns all results sorted by ascending distribution distance (the
+// first entry is the chosen configuration). gtSeconds is the owner's
+// annotated ground-truth duration list for the same segment.
+func Tune(src video.Source, iv vtime.Interval, dp DetectorParams, grid []TrackerParams, gtSeconds []float64, seed int64) []TuneResult {
+	info := src.Info()
+	// Detections are independent of tracker parameters; compute them
+	// once per frame and replay for every configuration.
+	type frameDets struct {
+		frame int64
+		dets  []Detection
+	}
+	det := NewDetector(dp, info.W, info.H, seed)
+	var all []frameDets
+	for f := iv.Start; f < iv.End; f++ {
+		all = append(all, frameDets{f, det.Detect(src.Frame(f))})
+	}
+
+	out := make([]TuneResult, 0, len(grid))
+	for _, params := range grid {
+		trk := NewTracker(params)
+		for _, fd := range all {
+			trk.Observe(fd.frame, fd.dets)
+		}
+		tracks := trk.Flush()
+		durs := make([]float64, len(tracks))
+		maxSec := 0.0
+		for i, tr := range tracks {
+			durs[i] = info.FPS.Seconds(tr.Frames())
+			if durs[i] > maxSec {
+				maxSec = durs[i]
+			}
+		}
+		out = append(out, TuneResult{
+			Params:     params,
+			Distance:   KSDistance(durs, gtSeconds),
+			MaxSeconds: maxSec,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs. An empty
+// sample against a non-empty one has distance 1.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	maxDiff := 0.0
+	for i < len(as) && j < len(bs) {
+		// Step past every occurrence of the next value on both sides
+		// at once, so ties do not create spurious CDF gaps.
+		v := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] == v {
+			i++
+		}
+		for j < len(bs) && bs[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if diff > maxDiff {
+			maxDiff = diff
+		}
+	}
+	return maxDiff
+}

@@ -1,0 +1,232 @@
+// Package dp implements Privid's differential-privacy core: the
+// Laplace mechanism used to noise every data release, the per-frame
+// privacy-budget ledger of Algorithm 1 (§6.4), and the
+// privacy-degradation analysis of Appendix C.
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"privid/internal/intervalmap"
+	"privid/internal/vtime"
+)
+
+// Noise samples Laplace noise. It is deterministic given its seed so
+// experiments are reproducible; a deployment would swap in a
+// cryptographically secure source (Appendix B's PRNG requirement).
+type Noise struct {
+	rng *rand.Rand
+}
+
+// NewNoise returns a sampler seeded deterministically.
+func NewNoise(seed int64) *Noise {
+	return &Noise{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Laplace returns one sample from Laplace(0, scale) via inverse-CDF
+// sampling. scale <= 0 returns 0 (a zero-sensitivity release needs no
+// noise).
+func (n *Noise) Laplace(scale float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	u := n.rng.Float64() - 0.5
+	if u == 0 {
+		return 0
+	}
+	return -scale * sign(u) * math.Log(1-2*math.Abs(u))
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// LaplaceScale returns the noise scale b = Δ/ε for a release of the
+// given sensitivity and budget.
+func LaplaceScale(sensitivity, epsilon float64) float64 {
+	if epsilon <= 0 {
+		return math.Inf(1)
+	}
+	return sensitivity / epsilon
+}
+
+// ErrBudgetExhausted is returned when a query asks for more budget
+// than some frame in its (ρ-expanded) interval has left. The query is
+// denied without consuming anything.
+type ErrBudgetExhausted struct {
+	Camera    string
+	Frame     int64
+	Remaining float64
+	Requested float64
+}
+
+// Error implements the error interface.
+func (e *ErrBudgetExhausted) Error() string {
+	return fmt.Sprintf("dp: budget exhausted on camera %s at frame %d (remaining %.4g, requested %.4g)",
+		e.Camera, e.Frame, e.Remaining, e.Requested)
+}
+
+// Ledger tracks the privacy budget spent on every frame of one camera.
+// Privid assigns a separate budget of ε to each frame (§6.4); the
+// ledger stores the spent amount as a piecewise-constant function so
+// memory scales with the number of queries, not frames.
+type Ledger struct {
+	camera  string
+	epsilon float64 // per-frame budget εC
+	spent   intervalmap.Map
+}
+
+// NewLedger returns a fresh ledger with per-frame budget eps.
+func NewLedger(camera string, eps float64) *Ledger {
+	return &Ledger{camera: camera, epsilon: eps}
+}
+
+// Epsilon returns the per-frame budget εC.
+func (l *Ledger) Epsilon() float64 { return l.epsilon }
+
+// Remaining returns the unspent budget at one frame.
+func (l *Ledger) Remaining(frame int64) float64 {
+	return l.epsilon - l.spent.Get(frame)
+}
+
+// Charge is one release's demand on the ledger: eps over the frame
+// interval the release depends on.
+type Charge struct {
+	Interval vtime.Interval
+	Eps      float64
+}
+
+// Admit implements Algorithm 1 lines 1–5 for a set of charges
+// atomically: every charge must find at least its ε remaining on every
+// frame of its interval expanded by ρ on both sides; only then is each
+// charge's ε subtracted from its unexpanded interval. The ρ margin
+// ensures a single event segment (duration ≤ ρ) cannot straddle two
+// temporally disjoint queries and be paid for twice (Appendix E.2).
+//
+// Overlapping charges within one call are summed for the admission
+// check, so a query cannot evade the limit by splitting its demand.
+func (l *Ledger) Admit(charges []Charge, rhoFrames int64) error {
+	if err := l.Check(charges, rhoFrames); err != nil {
+		return err
+	}
+	l.Spend(charges)
+	return nil
+}
+
+// Check performs the admission test of Admit without committing.
+// Queries spanning multiple cameras Check every ledger first, then
+// Spend on all of them, so denial on one camera consumes nothing
+// anywhere.
+func (l *Ledger) Check(charges []Charge, rhoFrames int64) error {
+	// Build the total demanded budget per frame (expanded intervals).
+	var demand intervalmap.Map
+	for _, c := range charges {
+		if c.Eps < 0 {
+			return fmt.Errorf("dp: negative charge %v", c.Eps)
+		}
+		iv := c.Interval.Expand(rhoFrames)
+		demand.AddRange(iv.Start, iv.End, c.Eps)
+	}
+	// Check: spent + demand <= epsilon everywhere.
+	var worstFrame int64
+	worst := math.Inf(-1)
+	ok := true
+	demand.Segments(minStart(charges, rhoFrames), maxEnd(charges, rhoFrames), func(s, e int64, d float64) {
+		if d == 0 {
+			return
+		}
+		// Within [s,e) the demand is constant; the binding constraint
+		// is the max already-spent value there. Locate the exact
+		// subsegment attaining it so denials report a real frame.
+		sp := l.spent.Max(s, e)
+		if sp+d > l.epsilon+1e-12 {
+			ok = false
+			if sp+d > worst {
+				worst = sp + d
+				worstFrame = s
+				l.spent.Segments(s, e, func(ss, _ int64, v float64) {
+					if v == sp {
+						worstFrame = ss
+					}
+				})
+			}
+		}
+	})
+	if !ok {
+		return &ErrBudgetExhausted{
+			Camera:    l.camera,
+			Frame:     worstFrame,
+			Remaining: l.epsilon - l.spent.Get(worstFrame),
+			Requested: demand.Get(worstFrame),
+		}
+	}
+	return nil
+}
+
+// Spend subtracts each charge over its unexpanded interval. Callers
+// must have passed Check with the same charges first.
+func (l *Ledger) Spend(charges []Charge) {
+	for _, c := range charges {
+		l.spent.AddRange(c.Interval.Start, c.Interval.End, c.Eps)
+	}
+}
+
+func minStart(charges []Charge, rho int64) int64 {
+	m := int64(math.MaxInt64)
+	for _, c := range charges {
+		if s := c.Interval.Start - rho; s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+func maxEnd(charges []Charge, rho int64) int64 {
+	m := int64(math.MinInt64)
+	for _, c := range charges {
+		if e := c.Interval.End + rho; e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// DetectionProbability evaluates Eq. C.3: the maximum probability an
+// adversary with false-positive tolerance alpha correctly detects a
+// protected event, given the effective ε. This is the curve of Fig. 8.
+func DetectionProbability(eps, alpha float64) float64 {
+	if eps < 0 || alpha < 0 {
+		return 0
+	}
+	a := math.Exp(eps) * alpha
+	b := 1 - math.Exp(-eps)*(1-alpha)
+	p := math.Min(a, b)
+	return math.Min(p, 1)
+}
+
+// EffectiveEpsilon returns the privacy level actually afforded to an
+// event that exceeds the (ρ, K) policy bound (§5.3, Appendix C): an
+// event with K' segments of duration ρ' each is protected with
+//
+//	ε' = ε · (K'/K) · (max_chunks(ρ') / max_chunks(ρ))
+//
+// where max_chunks is Eq. 6.1 at the query's chunk size. ε' grows —
+// privacy degrades gracefully — as the event exceeds the bound.
+func EffectiveEpsilon(eps float64, policyRhoFrames int64, policyK int, actualRhoFrames int64, actualK int, chunkFrames int64) float64 {
+	if chunkFrames <= 0 || policyK <= 0 {
+		return math.Inf(1)
+	}
+	mc := func(rho int64) float64 {
+		ceil := rho / chunkFrames
+		if rho%chunkFrames != 0 {
+			ceil++
+		}
+		return float64(1 + ceil)
+	}
+	return eps * (float64(actualK) / float64(policyK)) * (mc(actualRhoFrames) / mc(policyRhoFrames))
+}

@@ -1,0 +1,53 @@
+package dp
+
+import "math"
+
+// The paper's footnote 5: "All of our concepts and results could be
+// trivially extended to (ε, δ)-DP without any additional insights."
+// This file provides that extension: the analytic Gaussian mechanism
+// calibration, so a deployment preferring (ε, δ)-DP (e.g. for tighter
+// composition across very many releases) can swap the noise
+// distribution without touching the sensitivity machinery — Δ(Q) from
+// the Fig. 10 calculus is exactly the L1/L∞ sensitivity both
+// mechanisms consume for scalar releases.
+
+// Gaussian returns one sample from N(0, sigma²).
+func (n *Noise) Gaussian(sigma float64) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	return n.rng.NormFloat64() * sigma
+}
+
+// GaussianSigma returns the classic Gaussian-mechanism calibration
+// σ = Δ·sqrt(2·ln(1.25/δ))/ε for a release of the given sensitivity
+// under (ε, δ)-DP. It requires ε ∈ (0, 1) and δ ∈ (0, 1) — the regime
+// the classic bound covers.
+func GaussianSigma(sensitivity, epsilon, delta float64) float64 {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	if sensitivity <= 0 {
+		return 0
+	}
+	return sensitivity * math.Sqrt(2*math.Log(1.25/delta)) / epsilon
+}
+
+// AdvancedComposition returns the (ε', δ') guarantee for k-fold
+// adaptive composition of an (ε, δ)-DP mechanism, per the advanced
+// composition theorem with slack δ″:
+//
+//	ε' = ε·sqrt(2k·ln(1/δ″)) + k·ε·(e^ε − 1),  δ' = k·δ + δ″.
+//
+// The per-frame budget ledger uses plain sequential composition (as
+// the paper does); this helper quantifies how much tighter a deployment
+// could account standing queries that release thousands of values.
+func AdvancedComposition(eps, delta float64, k int, slack float64) (epsPrime, deltaPrime float64) {
+	if k <= 0 {
+		return 0, 0
+	}
+	kf := float64(k)
+	epsPrime = eps*math.Sqrt(2*kf*math.Log(1/slack)) + kf*eps*(math.Exp(eps)-1)
+	deltaPrime = kf*delta + slack
+	return epsPrime, deltaPrime
+}

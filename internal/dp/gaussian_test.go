@@ -1,0 +1,78 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianMoments(t *testing.T) {
+	n := NewNoise(5)
+	const sigma = 2.5
+	const samples = 200000
+	var sum, sumSq float64
+	for i := 0; i < samples; i++ {
+		x := n.Gaussian(sigma)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / samples
+	variance := sumSq/samples - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean=%v, want ~0", mean)
+	}
+	if math.Abs(variance-sigma*sigma) > 0.1 {
+		t.Errorf("var=%v, want %v", variance, sigma*sigma)
+	}
+	if NewNoise(1).Gaussian(0) != 0 {
+		t.Errorf("zero sigma must yield zero noise")
+	}
+}
+
+func TestGaussianSigma(t *testing.T) {
+	// sigma = Δ·sqrt(2 ln(1.25/δ))/ε.
+	got := GaussianSigma(10, 0.5, 1e-5)
+	want := 10 * math.Sqrt(2*math.Log(1.25/1e-5)) / 0.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("sigma=%v, want %v", got, want)
+	}
+	// Zero sensitivity needs no noise.
+	if GaussianSigma(0, 0.5, 1e-5) != 0 {
+		t.Errorf("zero-sensitivity sigma should be 0")
+	}
+	// Outside the classic regime the calibration refuses (inf).
+	for _, bad := range [][2]float64{{0, 1e-5}, {1, 1e-5}, {0.5, 0}, {0.5, 1}} {
+		if !math.IsInf(GaussianSigma(1, bad[0], bad[1]), 1) {
+			t.Errorf("GaussianSigma(eps=%v, delta=%v) should be +inf", bad[0], bad[1])
+		}
+	}
+	// Sigma shrinks with epsilon, grows as delta shrinks.
+	if GaussianSigma(1, 0.9, 1e-5) >= GaussianSigma(1, 0.1, 1e-5) {
+		t.Errorf("sigma not decreasing in epsilon")
+	}
+	if GaussianSigma(1, 0.5, 1e-3) >= GaussianSigma(1, 0.5, 1e-9) {
+		t.Errorf("sigma not increasing as delta shrinks")
+	}
+}
+
+func TestAdvancedComposition(t *testing.T) {
+	// For many small-eps releases, advanced composition beats
+	// sequential composition (k·ε).
+	const eps = 0.01
+	const k = 1000
+	epsPrime, deltaPrime := AdvancedComposition(eps, 0, k, 1e-6)
+	if epsPrime >= eps*k {
+		t.Errorf("advanced composition %v not tighter than sequential %v", epsPrime, eps*k)
+	}
+	if deltaPrime != 1e-6 {
+		t.Errorf("deltaPrime=%v", deltaPrime)
+	}
+	// Monotone in k.
+	e1, _ := AdvancedComposition(eps, 0, 10, 1e-6)
+	e2, _ := AdvancedComposition(eps, 0, 100, 1e-6)
+	if e2 <= e1 {
+		t.Errorf("composition not monotone in k")
+	}
+	if e, d := AdvancedComposition(eps, 1e-9, 0, 1e-6); e != 0 || d != 0 {
+		t.Errorf("k=0 composition should be free")
+	}
+}

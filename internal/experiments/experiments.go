@@ -1,0 +1,182 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§8, Appendices C and F). Each experiment builds
+// its workload, runs the full Privid pipeline (and the non-private
+// baseline it is compared against), and prints the same rows or series
+// the paper reports, plus a machine-readable metric map consumed by
+// the benchmark harness and EXPERIMENTS.md.
+//
+// Absolute numbers will not match the paper — the substrate is a
+// simulator, not the authors' testbed — but the shapes must: who wins,
+// by roughly what factor, and where crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale shrinks workloads for fast runs: window durations and
+	// dataset spans are multiplied by Scale (clamped to sane minimums
+	// per experiment). 1.0 reproduces paper scale.
+	Scale float64
+	// Seed drives every stochastic component.
+	Seed int64
+	// Out receives the printed rows; nil discards them.
+	Out io.Writer
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// window returns the evaluation window: the paper's 12 h scaled, with
+// a floor so tiny scales still exercise multiple hours.
+func (c Config) window() time.Duration {
+	d := time.Duration(float64(12*time.Hour) * c.scale())
+	if d < 30*time.Minute {
+		d = 30 * time.Minute
+	}
+	return d
+}
+
+// taxiDays returns the taxi-fleet span: the paper's 365 days scaled,
+// clamped to [7, 365].
+func (c Config) taxiDays() int {
+	d := int(365 * c.scale())
+	if d < 7 {
+		d = 7
+	}
+	if d > 365 {
+		d = 365
+	}
+	return d
+}
+
+func (c Config) printf(format string, args ...interface{}) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// Summary is an experiment's machine-readable outcome.
+type Summary struct {
+	// Metrics holds the headline numbers (accuracy, reduction factors,
+	// ...), keyed by stable names.
+	Metrics map[string]float64
+}
+
+func newSummary() *Summary { return &Summary{Metrics: map[string]float64{}} }
+
+func (s *Summary) set(key string, v float64) { s.Metrics[key] = v }
+
+// SortedKeys returns metric names in order.
+func (s *Summary) SortedKeys() []string {
+	keys := make([]string, 0, len(s.Metrics))
+	for k := range s.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	// ID is the stable identifier (e.g. "table1", "fig5").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Paper summarizes what the paper reports, for side-by-side
+	// comparison.
+	Paper string
+	// Run executes the experiment.
+	Run func(Config) (*Summary, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID:    "table1",
+			Title: "CV conservatively bounds max duration (Table 1)",
+			Paper: "GT max 81/316/270 s vs CV estimate 83/439/354 s; 29/5/76% objects missed",
+			Run:   runTable1,
+		},
+		{
+			ID:    "table2",
+			Title: "Spatial splitting shrinks per-chunk output range (Table 2)",
+			Paper: "max(frame)/max(region): campus 3/6=2.00x ... highway 40/23=1.74x, urban 37/16=2.25x",
+			Run:   runTable2,
+		},
+		{
+			ID:    "table3",
+			Title: "Query case studies Q4-Q13 (Table 3)",
+			Paper: "accuracies 79.06-100%: taxi UNION/JOIN/ARGMAX, tree foliage, red lights, stateful filter",
+			Run:   runTable3,
+		},
+		{
+			ID:    "fig3",
+			Title: "Persistence heatmaps and masks (Fig 3)",
+			Paper: "lingering concentrated in a few fixed regions per video",
+			Run:   runFig3,
+		},
+		{
+			ID:    "fig4",
+			Title: "Persistence distributions before/after masking (Fig 4)",
+			Paper: "heavy tails; masks cut max persistence 1.71-9.65x keeping >=93% of objects",
+			Run:   runFig4,
+		},
+		{
+			ID:    "fig5",
+			Title: "Hourly standing queries Q1-Q3 (Fig 5)",
+			Paper: "Privid tracks the original hourly series within the noise ribbon",
+			Run:   runFig5,
+		},
+		{
+			ID:    "fig6",
+			Title: "Chunk size x output range sweep (Fig 6)",
+			Paper: "bigger chunks: mean error falls (context) but noise error bars grow",
+			Run:   runFig6,
+		},
+		{
+			ID:    "fig7",
+			Title: "Noise vs query window size (Fig 7)",
+			Paper: "noise added to meet the guarantee decays as the window grows (2-12h)",
+			Run:   runFig7,
+		},
+		{
+			ID:    "fig8",
+			Title: "Graceful privacy degradation (Fig 8, Eq C.3)",
+			Paper: "detection probability grows smoothly past the (rho,K) bound; bounded by e^eps*alpha",
+			Run:   runFig8,
+		},
+		{
+			ID:    "table6",
+			Title: "Masking effectiveness on 10 videos (Table 6 / Fig 11)",
+			Paper: "masks cut max persistence 4.29-47.92x while retaining 26.67-99.94% of identities",
+			Run:   runTable6,
+		},
+		{
+			ID:    "ablation",
+			Title: "Design-choice ablation (masking, chunk size, budget split)",
+			Paper: "each mechanism (sec 7.1/7.2, Fig 6) buys a measurable noise reduction",
+			Run:   runAblation,
+		},
+	}
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,195 @@
+package mask
+
+import (
+	"container/heap"
+	"sort"
+
+	"privid/internal/geom"
+)
+
+// Step is one iteration of Algorithm 2: masking one more grid box and
+// the resulting scene-wide statistics. Walking the step list gives the
+// cumulative curves of Fig. 11.
+type Step struct {
+	Cell geom.Cell
+	// MaxPersistence is the maximum per-track persistence (in sampled
+	// frames) remaining after this cell is masked.
+	MaxPersistence int
+	// IdentitiesRetained is the fraction of tracks still visible in at
+	// least one frame.
+	IdentitiesRetained float64
+}
+
+// GreedyOrder implements Algorithm 2: it repeatedly finds the track
+// with the largest remaining persistence, masks the unmasked grid box
+// that track intersects for the most frames, and updates every
+// affected track. The returned steps are ordered so that each prefix
+// is the best mask of that size under the greedy heuristic.
+func GreedyOrder(pres []TrackPresence, grid geom.Grid) []Step {
+	n := len(pres)
+	if n == 0 {
+		return nil
+	}
+	// alive[t][f] = number of unmasked cells track t intersects at its
+	// f-th sampled frame; persistence[t] = #frames with alive > 0.
+	alive := make([][]int32, n)
+	persistence := make([]int, n)
+	// invert: cell -> list of (track, frame) presence entries.
+	type tf struct{ t, f int32 }
+	invert := make(map[int32][]tf)
+	// cellCount[t]: per-cell total frame counts for track t, as a
+	// sorted candidate list (built lazily).
+	type cellCount struct {
+		cell  int32
+		count int32
+	}
+	candidates := make([][]cellCount, n)
+
+	for t, tp := range pres {
+		alive[t] = make([]int32, len(tp.Frames))
+		persistence[t] = len(tp.Frames)
+		for f, fp := range tp.Frames {
+			alive[t][f] = int32(len(fp.Cells))
+			for _, c := range fp.Cells {
+				invert[c] = append(invert[c], tf{int32(t), int32(f)})
+			}
+		}
+	}
+
+	buildCandidates := func(t int) {
+		counts := make(map[int32]int32)
+		for _, fp := range pres[t].Frames {
+			for _, c := range fp.Cells {
+				counts[c]++
+			}
+		}
+		list := make([]cellCount, 0, len(counts))
+		for c, k := range counts {
+			list = append(list, cellCount{c, k})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].count != list[j].count {
+				return list[i].count > list[j].count
+			}
+			return list[i].cell < list[j].cell
+		})
+		candidates[t] = list
+	}
+
+	// Max-persistence queue with lazy invalidation.
+	pq := &maxHeap{}
+	for t, p := range persistence {
+		heap.Push(pq, heapItem{p, t})
+	}
+	masked := make(map[int32]bool)
+	retainedCount := 0
+	for _, p := range persistence {
+		if p > 0 {
+			retainedCount++
+		}
+	}
+
+	var steps []Step
+	for {
+		// Pop the current max-persistence track (skipping stale items).
+		var tmax int
+		found := false
+		for pq.Len() > 0 {
+			top := (*pq)[0]
+			if top.p != persistence[top.t] {
+				heap.Pop(pq)
+				continue
+			}
+			if top.p == 0 {
+				break
+			}
+			tmax = top.t
+			found = true
+			break
+		}
+		if !found {
+			break
+		}
+		if candidates[tmax] == nil {
+			buildCandidates(tmax)
+		}
+		var cell int32 = -1
+		for _, cc := range candidates[tmax] {
+			if !masked[cc.cell] {
+				cell = cc.cell
+				break
+			}
+		}
+		if cell < 0 {
+			// All of the track's cells are masked yet persistence > 0:
+			// cannot happen, but guard against an infinite loop.
+			break
+		}
+		masked[cell] = true
+		for _, e := range invert[cell] {
+			alive[e.t][e.f]--
+			if alive[e.t][e.f] == 0 {
+				persistence[e.t]--
+				heap.Push(pq, heapItem{persistence[e.t], int(e.t)})
+				if persistence[e.t] == 0 {
+					retainedCount--
+				}
+			}
+		}
+		maxP := 0
+		if pq.Len() > 0 {
+			// Lazily clean the heap top to read the current max.
+			for pq.Len() > 0 {
+				top := (*pq)[0]
+				if top.p != persistence[top.t] {
+					heap.Pop(pq)
+					continue
+				}
+				maxP = top.p
+				break
+			}
+		}
+		steps = append(steps, Step{
+			Cell:               grid.CellAt(int(cell)),
+			MaxPersistence:     maxP,
+			IdentitiesRetained: float64(retainedCount) / float64(n),
+		})
+	}
+	return steps
+}
+
+// MaskForTarget walks a greedy step list and returns the smallest
+// prefix mask whose remaining max persistence is at most target
+// sampled frames, together with that prefix's statistics. If the
+// target is unreachable it returns the full list's final mask.
+func MaskForTarget(steps []Step, grid geom.Grid, target int) (*Mask, Step) {
+	m := New(grid)
+	var last Step
+	for _, st := range steps {
+		m.Set(st.Cell)
+		last = st
+		if st.MaxPersistence <= target {
+			break
+		}
+	}
+	return m, last
+}
+
+type heapItem struct {
+	p int
+	t int
+}
+
+type maxHeap []heapItem
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].p > h[j].p }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

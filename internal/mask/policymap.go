@@ -1,0 +1,117 @@
+package mask
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"privid/internal/geom"
+	"privid/internal/policy"
+	"privid/internal/vtime"
+)
+
+// PolicyEntry pairs a published mask with the (ρ, K) policy that holds
+// when the mask is applied. Masking reduces observable persistence, so
+// heavier masks map to smaller ρ — and therefore less noise — at the
+// same level of privacy (§7.1).
+type PolicyEntry struct {
+	ID     string
+	Mask   *Mask
+	Policy policy.Policy
+}
+
+// PolicyMap is the data structure the video owner computes from
+// historical video and releases to analysts (Appendix F.2): a ladder of
+// masks with their corresponding policies. At query time the analyst
+// picks the entry that least disrupts their query while minimizing ρ.
+//
+// Releasing the map does not break the privacy guarantee: it can leak
+// at most what the adversary would need to already know about an
+// individual to interpret it (Appendix F.2's claim), and it describes
+// only historical calibration video, never the queried video.
+type PolicyMap struct {
+	Camera  string
+	Entries []PolicyEntry
+}
+
+// Lookup returns the entry with the given ID.
+func (pm *PolicyMap) Lookup(id string) (PolicyEntry, bool) {
+	for _, e := range pm.Entries {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return PolicyEntry{}, false
+}
+
+// Best returns the entry with the smallest ρ whose mask covers at most
+// maxFraction of the frame — the analyst-side selection rule.
+func (pm *PolicyMap) Best(maxFraction float64) (PolicyEntry, bool) {
+	var best PolicyEntry
+	found := false
+	for _, e := range pm.Entries {
+		if e.Mask != nil && e.Mask.Fraction() > maxFraction {
+			continue
+		}
+		if !found || e.Policy.Rho < best.Policy.Rho {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// BuildPolicyMap runs Algorithm 2 over historical presence data and
+// returns a ladder of masks at the requested persistence-reduction
+// factors (e.g. 1 = no mask, 2 = halve the max persistence, ...).
+// K is carried through unchanged; stride and fps convert sampled
+// frames back to wall-clock ρ. A one-sample safety margin is added to
+// ρ so sampling cannot under-estimate it.
+func BuildPolicyMap(camera string, pres []TrackPresence, grid geom.Grid, fps vtime.FrameRate, stride int64, k int, factors []float64) *PolicyMap {
+	steps := GreedyOrder(pres, grid)
+	base := 0
+	for _, tp := range pres {
+		if len(tp.Frames) > base {
+			base = len(tp.Frames)
+		}
+	}
+	pm := &PolicyMap{Camera: camera}
+	sort.Float64s(factors)
+	for _, f := range factors {
+		if f < 1 {
+			continue
+		}
+		target := int(float64(base) / f)
+		var m *Mask
+		reached := base
+		if f == 1 {
+			m = New(grid)
+		} else {
+			var last Step
+			m, last = MaskForTarget(steps, grid, target)
+			reached = last.MaxPersistence
+		}
+		rhoFrames := int64(reached+1) * stride // +1: sampling margin
+		// IDs must be query-language identifiers (no '-').
+		pm.Entries = append(pm.Entries, PolicyEntry{
+			ID:     fmt.Sprintf("%s_x%g", sanitizeID(camera), f),
+			Mask:   m,
+			Policy: policy.Policy{Rho: time.Duration(float64(rhoFrames) / float64(fps) * float64(time.Second)), K: k},
+		})
+	}
+	return pm
+}
+
+// sanitizeID maps a camera name to a query-language identifier.
+func sanitizeID(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,271 @@
+package query
+
+import (
+	"time"
+
+	"privid/internal/table"
+)
+
+// Program is a parsed query: any number of SPLIT, PROCESS and SELECT
+// statements in order. Each SELECT is a separate set of data releases.
+type Program struct {
+	Splits    []*SplitStmt
+	Processes []*ProcessStmt
+	Selects   []*SelectStmt
+}
+
+// Dur is a chunk/stride duration, expressed either in frames or in
+// wall-clock seconds (the grammar accepts both: "1frame", "5sec").
+type Dur struct {
+	Frames   int64
+	Seconds  float64
+	IsFrames bool
+}
+
+// SplitStmt selects a segment of one camera's video and splits it
+// temporally into a named set of chunks.
+type SplitStmt struct {
+	Pos    Pos
+	Camera string
+	Begin  time.Time
+	End    time.Time
+	Chunk  Dur
+	Stride Dur
+	// Region optionally names a video-owner-defined spatial splitting
+	// scheme (BY REGION, §7.2).
+	Region string
+	// Mask optionally names a video-owner-published mask (WITH MASK,
+	// §7.1).
+	Mask string
+	Into string
+}
+
+// ColumnDef is one column of a PROCESS schema.
+type ColumnDef struct {
+	Name    string
+	Type    table.DType
+	Default table.Value
+}
+
+// ProcessStmt runs the analyst's executable over a chunk set and
+// produces an intermediate table.
+type ProcessStmt struct {
+	Pos     Pos
+	Input   string // chunk set id
+	Using   string // executable name
+	Timeout time.Duration
+	MaxRows int
+	Schema  []ColumnDef
+	Into    string
+}
+
+// AggFun is an aggregation function (the set of Fig. 10).
+type AggFun int
+
+const (
+	// AggCount counts rows (COUNT(col) or COUNT(*)).
+	AggCount AggFun = iota
+	// AggSum sums a numeric column.
+	AggSum
+	// AggAvg averages a numeric column.
+	AggAvg
+	// AggVar computes the variance of a numeric column.
+	AggVar
+	// AggArgmax returns the group key with the largest aggregate.
+	AggArgmax
+)
+
+// String implements fmt.Stringer.
+func (f AggFun) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggVar:
+		return "VAR"
+	case AggArgmax:
+		return "ARGMAX"
+	default:
+		return "AGG?"
+	}
+}
+
+// SelectStmt is an aggregation release: an outer aggregation over an
+// inner relational expression, optionally grouped.
+type SelectStmt struct {
+	Pos Pos
+	// KeyCols are non-aggregate output columns; they must match the
+	// GROUP BY keys (e.g. "SELECT color, COUNT(plate) ... GROUP BY
+	// color").
+	KeyCols []string
+	Agg     AggExpr
+	From    RelExpr
+	// GroupBy lists grouping columns of the outer aggregation.
+	GroupBy []string
+	// GroupKeys is the WITH KEYS list. Required for analyst-defined
+	// group columns so key presence cannot leak data (§6.2).
+	GroupKeys []table.Value
+	// Consuming is the privacy budget ε requested for each release of
+	// this SELECT (CONSUMING directive); 0 means the engine default.
+	Consuming float64
+}
+
+// AggExpr is the outer aggregation call.
+type AggExpr struct {
+	Pos  Pos
+	Fun  AggFun
+	Arg  Expr // nil when Star
+	Star bool // COUNT(*)
+}
+
+// RelExpr is a relational sub-expression producing rows.
+type RelExpr interface {
+	relExpr()
+	Position() Pos
+}
+
+// TableRef names an intermediate table created by PROCESS.
+type TableRef struct {
+	Pos  Pos
+	Name string
+}
+
+func (*TableRef) relExpr() {}
+
+// Position returns the node's source position.
+func (t *TableRef) Position() Pos { return t.Pos }
+
+// SelectExpr is an inner SELECT: projection + optional WHERE and LIMIT.
+type SelectExpr struct {
+	Pos   Pos
+	Items []SelectItem
+	Star  bool // SELECT *
+	From  RelExpr
+	Where Expr // nil if absent
+	Limit int  // 0 if absent
+}
+
+func (*SelectExpr) relExpr() {}
+
+// Position returns the node's source position.
+func (s *SelectExpr) Position() Pos { return s.Pos }
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// GroupExpr is an inner GROUP BY used as a deduplication operator
+// (§6.2: "adding a GROUP BY plate as an intermediate operator"): it
+// emits one row per distinct key tuple.
+type GroupExpr struct {
+	Pos      Pos
+	From     RelExpr
+	Keys     []string
+	WithKeys []table.Value // optional explicit key list
+}
+
+func (*GroupExpr) relExpr() {}
+
+// Position returns the node's source position.
+func (g *GroupExpr) Position() Pos { return g.Pos }
+
+// JoinExpr joins two relations on equality of the named columns.
+// Outer=false is an equijoin (intersection on the key); Outer=true is
+// a full outer join (union on the key).
+type JoinExpr struct {
+	Pos   Pos
+	Left  RelExpr
+	Right RelExpr
+	On    []string
+	Outer bool
+}
+
+func (*JoinExpr) relExpr() {}
+
+// Position returns the node's source position.
+func (j *JoinExpr) Position() Pos { return j.Pos }
+
+// UnionExpr concatenates the rows of two relations with identical
+// column sets (UNION ALL semantics; use a GroupExpr on top for
+// set-union). Multi-camera aggregations (Q4–Q6) combine per-camera
+// tables this way.
+type UnionExpr struct {
+	Pos   Pos
+	Left  RelExpr
+	Right RelExpr
+}
+
+func (*UnionExpr) relExpr() {}
+
+// Position returns the node's source position.
+func (u *UnionExpr) Position() Pos { return u.Pos }
+
+// Expr is a scalar expression over row values.
+type Expr interface {
+	expr()
+	Position() Pos
+}
+
+// ColRef references a column by name.
+type ColRef struct {
+	Pos  Pos
+	Name string
+}
+
+func (*ColRef) expr() {}
+
+// Position returns the node's source position.
+func (c *ColRef) Position() Pos { return c.Pos }
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Pos Pos
+	V   float64
+}
+
+func (*NumLit) expr() {}
+
+// Position returns the node's source position.
+func (n *NumLit) Position() Pos { return n.Pos }
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	V   string
+}
+
+func (*StrLit) expr() {}
+
+// Position returns the node's source position.
+func (s *StrLit) Position() Pos { return s.Pos }
+
+// BinExpr is a binary operation: arithmetic (+ - * /), comparison
+// (= != < <= > >=), or boolean (AND OR).
+type BinExpr struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+func (*BinExpr) expr() {}
+
+// Position returns the node's source position.
+func (b *BinExpr) Position() Pos { return b.Pos }
+
+// CallExpr is a builtin function call: range(col, lo, hi) (truncating
+// range constraint), hour(chunk), day(chunk), bin(chunk, seconds).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (*CallExpr) expr() {}
+
+// Position returns the node's source position.
+func (c *CallExpr) Position() Pos { return c.Pos }

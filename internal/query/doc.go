@@ -1,0 +1,75 @@
+// Package query implements Privid's query language (Fig. 9, Appendix
+// D): a lexer, recursive-descent parser, AST, and static validation
+// for programs made of SPLIT, PROCESS and SELECT statements.
+//
+// # Language reference
+//
+// The grammar follows the paper's Fig. 9 and Appendix D, extended with
+// UNION (the paper expresses unions as outer joins; an explicit
+// combinator makes multi-camera tagging queries readable).
+//
+//	program       := (split_stmt | process_stmt | select_stmt) ";" ...
+//
+//	split_stmt    := SPLIT camera_id
+//	                   BEGIN timestamp END timestamp
+//	                   BY TIME duration STRIDE [-]duration
+//	                   [BY REGION scheme_id]
+//	                   [WITH MASK mask_id]
+//	                   INTO chunk_set_id
+//
+//	process_stmt  := PROCESS chunk_set_id USING executable
+//	                   TIMEOUT duration
+//	                   PRODUCING n [ROWS]
+//	                   WITH SCHEMA "(" col ":" (STRING|NUMBER) ["=" default] , ... ")"
+//	                   INTO table_id
+//
+//	select_stmt   := SELECT [key_col ","]... agg "(" (expr | "*") ")"
+//	                   FROM rel
+//	                   [GROUP BY col [WITH KEYS "[" literal, ... "]"]]
+//	                   [CONSUMING epsilon]
+//
+//	rel           := table_id
+//	               | "(" inner ")"
+//	               | rel JOIN rel ON col, ...        -- equijoin (intersection)
+//	               | rel OUTER JOIN rel ON col, ...  -- full outer join (union on keys)
+//	               | rel UNION rel                   -- concatenation (UNION ALL)
+//
+//	inner         := SELECT expr [AS name], ... FROM rel
+//	                   [WHERE expr] [LIMIT n]
+//	                   [GROUP BY col, ... [WITH KEYS [...]]]   -- dedup operator
+//
+//	agg           := COUNT | SUM | AVG | VAR | ARGMAX
+//
+//	expr          := col | number | "string"
+//	               | expr (+|-|*|/) expr
+//	               | expr (=|!=|<|<=|>|>=) expr
+//	               | expr (AND|OR) expr
+//	               | range(col, lo, hi)      -- truncate + declare range
+//	               | hour(chunk)             -- hour of day, 0-23
+//	               | day(chunk)              -- day bucket
+//	               | bin(chunk, seconds)     -- fixed-width time bucket
+//
+//	duration      := <number><unit>   unit ∈ frame(s), s(ec), m(in), h(r), d(ay)
+//	timestamp     := MM-DD-YYYY/H:MM(am|pm)
+//
+// Privacy-relevant restrictions (enforced at parse or execution time):
+//
+//   - The outer SELECT must be a single aggregation (plus echoed group
+//     keys). Each aggregation (or each GROUP BY key) is a separate
+//     data release with its own noise and budget.
+//   - SUM/AVG/VAR need a range constraint on their argument: wrap the
+//     column in range(col, lo, hi) or derive it arithmetically from
+//     ranged columns. Division destroys range constraints.
+//   - AVG/VAR additionally need a bounded relation size: LIMIT,
+//     GROUP BY ... WITH KEYS, or the table's own chunk-count bound.
+//   - GROUP BY over an analyst-defined column requires WITH KEYS —
+//     otherwise the mere presence of a rare key leaks (§6.2). The
+//     implicit chunk column (and hour/day/bin of it) is created by
+//     Privid, so its buckets are enumerable and trusted: every bucket
+//     in the window is released, including empty ones.
+//   - JOIN inputs must be GROUP BY'd on the join keys, and the join's
+//     sensitivity is the SUM of the inputs' (the untrusted-table
+//     "priming" argument of §6.3).
+//   - ARGMAX requires GROUP BY with enumerable keys and releases only
+//     the winning key, via noisy-max.
+package query

@@ -1,0 +1,75 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics feeds the parser randomized garbage —
+// truncations and mutations of a valid program plus raw noise — and
+// requires it to return an error or a program, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	valid := `
+SPLIT camA BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am
+  BY TIME 5sec STRIDE 0sec INTO c;
+PROCESS c USING exe TIMEOUT 1sec PRODUCING 5 ROWS
+  WITH SCHEMA (n:NUMBER=0, tag:STRING="") INTO t;
+SELECT COUNT(*) FROM t;`
+	rng := rand.New(rand.NewSource(123))
+	tokens := []string{"SELECT", "FROM", "(", ")", "[", "]", ",", ";",
+		"GROUP", "BY", "JOIN", "UNION", "range", "5sec", `"x"`, "12-01-2020/12:00am",
+		"*", "=", "chunk", "WITH", "KEYS", "-", "0.5"}
+
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+	}
+
+	// Truncations of the valid program at every byte offset.
+	for i := 0; i <= len(valid); i += 3 {
+		check(valid[:i])
+	}
+	// Random single-character deletions and substitutions.
+	for trial := 0; trial < 300; trial++ {
+		b := []byte(valid)
+		switch rng.Intn(3) {
+		case 0:
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		case 1:
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+		case 2:
+			var sb strings.Builder
+			for i := 0; i < 1+rng.Intn(30); i++ {
+				sb.WriteString(tokens[rng.Intn(len(tokens))])
+				sb.WriteString(" ")
+			}
+			b = []byte(sb.String())
+		}
+		check(string(b))
+	}
+}
+
+// TestLexNeverPanics exercises the lexer with raw byte noise.
+func TestLexNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		b := make([]byte, rng.Intn(64))
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panic on %q: %v", b, r)
+				}
+			}()
+			_, _ = Lex(string(b))
+		}()
+	}
+}

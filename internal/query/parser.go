@@ -1,0 +1,838 @@
+package query
+
+import (
+	"strings"
+	"time"
+
+	"privid/internal/table"
+)
+
+// timestampLayouts are accepted BEGIN/END datetime formats.
+var timestampLayouts = []string{
+	"01-02-2006/3:04pm",
+	"1-2-2006/3:04pm",
+}
+
+// Parse lexes and parses a query program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		switch {
+		case p.peekKeyword("SPLIT"):
+			st, err := p.parseSplit()
+			if err != nil {
+				return nil, err
+			}
+			prog.Splits = append(prog.Splits, st)
+		case p.peekKeyword("PROCESS"):
+			st, err := p.parseProcess()
+			if err != nil {
+				return nil, err
+			}
+			prog.Processes = append(prog.Processes, st)
+		case p.peekKeyword("SELECT"):
+			st, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			prog.Selects = append(prog.Selects, st)
+		default:
+			return nil, errf(p.peek().Pos, "expected SPLIT, PROCESS or SELECT, got %s", p.peek())
+		}
+		if !p.acceptPunct(";") && !p.atEOF() {
+			return nil, errf(p.peek().Pos, "expected ';' after statement, got %s", p.peek())
+		}
+	}
+	if err := Validate(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.peek().Kind == EOF }
+func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == IDENT && strings.EqualFold(t.Text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errf(p.peek().Pos, "expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) peekPunct(s string) bool {
+	t := p.peek()
+	return t.Kind == PUNCT && t.Text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peekPunct(s) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return errf(p.peek().Pos, "expected %q, got %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.peek()
+	if t.Kind != IDENT {
+		return Token{}, errf(t.Pos, "expected identifier, got %s", t)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) expectNumber() (Token, error) {
+	t := p.peek()
+	if t.Kind != NUMBER {
+		return Token{}, errf(t.Pos, "expected number, got %s", t)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) expectTimestamp() (time.Time, error) {
+	t := p.peek()
+	if t.Kind != TIMESTAMP {
+		return time.Time{}, errf(t.Pos, "expected timestamp (MM-DD-YYYY/H:MMam), got %s", t)
+	}
+	p.i++
+	for _, layout := range timestampLayouts {
+		if ts, err := time.Parse(layout, t.Text); err == nil {
+			return ts.UTC(), nil
+		}
+	}
+	return time.Time{}, errf(t.Pos, "unparseable timestamp %q", t.Text)
+}
+
+func (p *parser) expectDur() (Dur, error) {
+	t := p.peek()
+	switch t.Kind {
+	case DURATION:
+		p.i++
+		frames, isFrames, secs, err := parseDurationToken(t)
+		if err != nil {
+			return Dur{}, err
+		}
+		return Dur{Frames: frames, IsFrames: isFrames, Seconds: secs}, nil
+	case NUMBER:
+		// Bare numbers are seconds (the grammar's chunk_sec).
+		p.i++
+		return Dur{Seconds: t.Num}, nil
+	default:
+		return Dur{}, errf(t.Pos, "expected duration, got %s", t)
+	}
+}
+
+// parseSplit parses:
+//
+//	SPLIT cam BEGIN ts END ts BY TIME d STRIDE d
+//	  [BY REGION scheme] [WITH MASK id] INTO name
+func (p *parser) parseSplit() (*SplitStmt, error) {
+	pos := p.peek().Pos
+	if err := p.expectKeyword("SPLIT"); err != nil {
+		return nil, err
+	}
+	cam, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &SplitStmt{Pos: pos, Camera: cam.Text}
+	if err := p.expectKeyword("BEGIN"); err != nil {
+		return nil, err
+	}
+	if st.Begin, err = p.expectTimestamp(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	if st.End, err = p.expectTimestamp(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TIME"); err != nil {
+		return nil, err
+	}
+	if st.Chunk, err = p.expectDur(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("STRIDE"); err != nil {
+		return nil, err
+	}
+	// Strides may be negative (overlapping chunks).
+	neg := p.acceptPunct("-")
+	if st.Stride, err = p.expectDur(); err != nil {
+		return nil, err
+	}
+	if neg {
+		st.Stride.Frames = -st.Stride.Frames
+		st.Stride.Seconds = -st.Stride.Seconds
+	}
+	for {
+		switch {
+		case p.acceptKeyword("BY"):
+			if err := p.expectKeyword("REGION"); err != nil {
+				return nil, err
+			}
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Region = id.Text
+		case p.acceptKeyword("WITH"):
+			if err := p.expectKeyword("MASK"); err != nil {
+				return nil, err
+			}
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Mask = id.Text
+		case p.acceptKeyword("INTO"):
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Into = id.Text
+			return st, nil
+		default:
+			return nil, errf(p.peek().Pos, "expected BY REGION, WITH MASK or INTO, got %s", p.peek())
+		}
+	}
+}
+
+// parseProcess parses:
+//
+//	PROCESS chunks USING exe TIMEOUT d PRODUCING n ROWS
+//	  WITH SCHEMA (col:TYPE=default, ...) INTO name
+func (p *parser) parseProcess() (*ProcessStmt, error) {
+	pos := p.peek().Pos
+	if err := p.expectKeyword("PROCESS"); err != nil {
+		return nil, err
+	}
+	in, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &ProcessStmt{Pos: pos, Input: in.Text}
+	if err := p.expectKeyword("USING"); err != nil {
+		return nil, err
+	}
+	exe := p.next()
+	if exe.Kind != IDENT && exe.Kind != STRING {
+		return nil, errf(exe.Pos, "expected executable name, got %s", exe)
+	}
+	st.Using = exe.Text
+	if err := p.expectKeyword("TIMEOUT"); err != nil {
+		return nil, err
+	}
+	d, err := p.expectDur()
+	if err != nil {
+		return nil, err
+	}
+	if d.IsFrames {
+		return nil, errf(pos, "TIMEOUT must be a wall-clock duration")
+	}
+	st.Timeout = time.Duration(d.Seconds * float64(time.Second))
+	// Both PRODUCING and the paper's typo PRODUING are accepted.
+	if !p.acceptKeyword("PRODUCING") && !p.acceptKeyword("PRODUING") {
+		return nil, errf(p.peek().Pos, "expected PRODUCING, got %s", p.peek())
+	}
+	n, err := p.expectNumber()
+	if err != nil {
+		return nil, err
+	}
+	st.MaxRows = int(n.Num)
+	p.acceptKeyword("ROWS") // optional noise word
+	if err := p.expectKeyword("WITH"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SCHEMA"); err != nil {
+		return nil, err
+	}
+	if st.Schema, err = p.parseSchema(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	into, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Into = into.Text
+	return st, nil
+}
+
+// parseSchema parses (name:TYPE=default, ...).
+func (p *parser) parseSchema() ([]ColumnDef, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		tt, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var dt table.DType
+		switch strings.ToUpper(tt.Text) {
+		case "STRING":
+			dt = table.DString
+		case "NUMBER":
+			dt = table.DNumber
+		default:
+			return nil, errf(tt.Pos, "unknown type %q (want STRING or NUMBER)", tt.Text)
+		}
+		col := ColumnDef{Name: name.Text, Type: dt}
+		if p.acceptPunct("=") {
+			neg := p.acceptPunct("-")
+			v := p.next()
+			switch v.Kind {
+			case NUMBER:
+				n := v.Num
+				if neg {
+					n = -n
+				}
+				col.Default = table.N(n)
+			case STRING:
+				if neg {
+					return nil, errf(v.Pos, "cannot negate a string default")
+				}
+				col.Default = table.S(v.Text)
+			default:
+				return nil, errf(v.Pos, "expected default value, got %s", v)
+			}
+		} else if dt == table.DNumber {
+			col.Default = table.N(0)
+		} else {
+			col.Default = table.S("")
+		}
+		cols = append(cols, col)
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return cols, nil
+	}
+}
+
+// aggFuns maps keyword to aggregation function.
+var aggFuns = map[string]AggFun{
+	"COUNT":  AggCount,
+	"SUM":    AggSum,
+	"AVG":    AggAvg,
+	"VAR":    AggVar,
+	"ARGMAX": AggArgmax,
+}
+
+// parseSelect parses a full select_stmt.
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	pos := p.peek().Pos
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{Pos: pos}
+	// Output items: zero or more key columns, then exactly one
+	// aggregation.
+	for {
+		t := p.peek()
+		if t.Kind != IDENT {
+			return nil, errf(t.Pos, "expected column or aggregation, got %s", t)
+		}
+		if fun, ok := aggFuns[strings.ToUpper(t.Text)]; ok {
+			agg, err := p.parseAgg(fun)
+			if err != nil {
+				return nil, err
+			}
+			st.Agg = agg
+			break
+		}
+		p.i++
+		st.KeyCols = append(st.KeyCols, t.Text)
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	st.From = from
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, id.Text)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if p.acceptKeyword("WITH") {
+			if err := p.expectKeyword("KEYS"); err != nil {
+				return nil, err
+			}
+			keys, err := p.parseKeyList()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupKeys = keys
+		}
+	}
+	if p.acceptKeyword("CONSUMING") {
+		neg := p.acceptPunct("-")
+		n, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		st.Consuming = n.Num
+		if neg {
+			st.Consuming = -st.Consuming
+		}
+	}
+	return st, nil
+}
+
+// parseAgg parses FUN(arg) where arg is * or an expression.
+func (p *parser) parseAgg(fun AggFun) (AggExpr, error) {
+	t := p.next() // the aggregation keyword
+	agg := AggExpr{Pos: t.Pos, Fun: fun}
+	if err := p.expectPunct("("); err != nil {
+		return agg, err
+	}
+	if p.acceptPunct("*") {
+		agg.Star = true
+	} else {
+		e, err := p.parseExpr()
+		if err != nil {
+			return agg, err
+		}
+		agg.Arg = e
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return agg, err
+	}
+	return agg, nil
+}
+
+// parseKeyList parses ["A", "B", 3, ...].
+func (p *parser) parseKeyList() ([]table.Value, error) {
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	var keys []table.Value
+	if p.acceptPunct("]") {
+		return keys, nil
+	}
+	for {
+		t := p.next()
+		switch t.Kind {
+		case STRING:
+			keys = append(keys, table.S(t.Text))
+		case NUMBER:
+			keys = append(keys, table.N(t.Num))
+		default:
+			return nil, errf(t.Pos, "expected key literal, got %s", t)
+		}
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return keys, nil
+	}
+}
+
+// parseRel parses an inner relational expression, handling postfix
+// GROUP BY and JOIN combinators.
+func (p *parser) parseRel() (RelExpr, error) {
+	rel, err := p.parseRelPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peekKeyword("GROUP"):
+			// Lookahead: an outer SELECT's GROUP BY also begins with
+			// GROUP; only consume it here when parsing a
+			// parenthesized inner relation. The ambiguity is resolved
+			// by parseRelPrimary consuming GROUP BY only inside
+			// parens; at top level the outer select owns it.
+			return rel, nil
+		case p.acceptKeyword("JOIN"):
+			pos := p.toks[p.i-1].Pos
+			right, err := p.parseRelPrimary()
+			if err != nil {
+				return nil, err
+			}
+			j := &JoinExpr{Pos: pos, Left: rel, Right: right}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				j.On = append(j.On, id.Text)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			rel = j
+		case p.acceptKeyword("UNION"):
+			pos := p.toks[p.i-1].Pos
+			right, err := p.parseRelPrimary()
+			if err != nil {
+				return nil, err
+			}
+			rel = &UnionExpr{Pos: pos, Left: rel, Right: right}
+		case p.acceptKeyword("OUTER"):
+			// OUTER JOIN variant.
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			pos := p.toks[p.i-1].Pos
+			right, err := p.parseRelPrimary()
+			if err != nil {
+				return nil, err
+			}
+			j := &JoinExpr{Pos: pos, Left: rel, Right: right, Outer: true}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				j.On = append(j.On, id.Text)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			rel = j
+		default:
+			return rel, nil
+		}
+	}
+}
+
+// parseRelPrimary parses a table reference or a parenthesized inner
+// select / group-by.
+func (p *parser) parseRelPrimary() (RelExpr, error) {
+	t := p.peek()
+	if t.Kind == IDENT && !p.peekKeyword("SELECT") {
+		p.i++
+		return &TableRef{Pos: t.Pos, Name: t.Text}, nil
+	}
+	if p.acceptPunct("(") {
+		inner, err := p.parseInnerSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	if p.peekKeyword("SELECT") {
+		return p.parseInnerSelectBody()
+	}
+	return nil, errf(t.Pos, "expected table or (subquery), got %s", t)
+}
+
+// parseInnerSelectBody parses SELECT items FROM rel [WHERE e] [LIMIT n]
+// [GROUP BY cols [WITH KEYS [...]]] (the GROUP BY here is the inner
+// dedup operator).
+func (p *parser) parseInnerSelectBody() (RelExpr, error) {
+	pos := p.peek().Pos
+	var rel RelExpr
+	if p.acceptKeyword("SELECT") {
+		se := &SelectExpr{Pos: pos}
+		if p.acceptPunct("*") {
+			se.Star = true
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item := SelectItem{Expr: e}
+				if p.acceptKeyword("AS") {
+					id, err := p.expectIdent()
+					if err != nil {
+						return nil, err
+					}
+					item.Alias = id.Text
+				}
+				se.Items = append(se.Items, item)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+		from, err := p.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		se.From = from
+		if p.acceptKeyword("WHERE") {
+			w, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			se.Where = w
+		}
+		if p.acceptKeyword("LIMIT") {
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			se.Limit = int(n.Num)
+		}
+		rel = se
+	} else {
+		r, err := p.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		rel = r
+	}
+	// Inner GROUP BY (dedup) attaches here.
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		g := &GroupExpr{Pos: pos, From: rel}
+		for {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			g.Keys = append(g.Keys, id.Text)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if p.acceptKeyword("WITH") {
+			if err := p.expectKeyword("KEYS"); err != nil {
+				return nil, err
+			}
+			keys, err := p.parseKeyList()
+			if err != nil {
+				return nil, err
+			}
+			g.WithKeys = keys
+		}
+		rel = g
+	}
+	return rel, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or:   and (OR and)*
+//	and:  cmp (AND cmp)*
+//	cmp:  add ((=|==|!=|<|<=|>|>=) add)?
+//	add:  mul ((+|-) mul)*
+//	mul:  unary ((*|/) unary)*
+//	unary: -unary | primary
+//	primary: literal | ident | ident(...) | (expr)
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKeyword("OR") {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKeyword("AND") {
+		pos := p.next().Pos
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "=", "!=", "<=", ">=", "<", ">"} {
+		if p.peekPunct(op) {
+			pos := p.next().Pos
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			canonical := op
+			if canonical == "==" {
+				canonical = "="
+			}
+			return &BinExpr{Pos: pos, Op: canonical, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekPunct("+") || p.peekPunct("-") {
+		t := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: t.Pos, Op: t.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekPunct("*") || p.peekPunct("/") {
+		t := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: t.Pos, Op: t.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peekPunct("-") {
+		t := p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Pos: t.Pos, Op: "-", L: &NumLit{Pos: t.Pos, V: 0}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case NUMBER:
+		return &NumLit{Pos: t.Pos, V: t.Num}, nil
+	case STRING:
+		return &StrLit{Pos: t.Pos, V: t.Text}, nil
+	case IDENT:
+		if p.acceptPunct("(") {
+			call := &CallExpr{Pos: t.Pos, Name: strings.ToLower(t.Text)}
+			if !p.acceptPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.acceptPunct(",") {
+						continue
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return call, nil
+		}
+		return &ColRef{Pos: t.Pos, Name: t.Text}, nil
+	case PUNCT:
+		if t.Text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errf(t.Pos, "expected expression, got %s", t)
+}

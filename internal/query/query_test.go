@@ -1,0 +1,365 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"privid/internal/table"
+)
+
+// listing1 is the example query from the paper (Listing 1), with its
+// stray paren typo fixed.
+const listing1 = `
+/* Select 1 month time window from camera, split video into chunks */
+SPLIT camA
+    BEGIN 12-01-2020/12:00am END 01-01-2021/12:00am
+    BY TIME 5sec STRIDE 0sec
+    INTO chunksA;
+
+/* Process chunks using analyst's code, store outputs in tableA */
+PROCESS chunksA USING model.py TIMEOUT 1sec
+    PRODUCING 10 ROWS
+    WITH SCHEMA (plate:STRING="", color:STRING="", speed:NUMBER=0)
+    INTO tableA;
+
+/* S1: average speed of all cars */
+SELECT AVG(range(speed, 30, 60)) FROM tableA;
+
+/* S2: count total unique cars of each color */
+SELECT color, COUNT(plate) FROM
+    (SELECT plate, color FROM tableA)
+    GROUP BY color WITH KEYS ["RED", "WHITE", "SILVER"];
+`
+
+func TestParseListing1(t *testing.T) {
+	prog, err := Parse(listing1)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Splits) != 1 || len(prog.Processes) != 1 || len(prog.Selects) != 2 {
+		t.Fatalf("statement counts: %d/%d/%d", len(prog.Splits), len(prog.Processes), len(prog.Selects))
+	}
+
+	sp := prog.Splits[0]
+	if sp.Camera != "camA" || sp.Into != "chunksA" {
+		t.Errorf("split: %+v", sp)
+	}
+	wantBegin := time.Date(2020, 12, 1, 0, 0, 0, 0, time.UTC)
+	if !sp.Begin.Equal(wantBegin) {
+		t.Errorf("begin=%v, want %v", sp.Begin, wantBegin)
+	}
+	wantEnd := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	if !sp.End.Equal(wantEnd) {
+		t.Errorf("end=%v, want %v", sp.End, wantEnd)
+	}
+	if sp.Chunk.Seconds != 5 || sp.Chunk.IsFrames {
+		t.Errorf("chunk=%+v", sp.Chunk)
+	}
+	if sp.Stride.Seconds != 0 {
+		t.Errorf("stride=%+v", sp.Stride)
+	}
+
+	pr := prog.Processes[0]
+	if pr.Input != "chunksA" || pr.Using != "model.py" || pr.Into != "tableA" {
+		t.Errorf("process: %+v", pr)
+	}
+	if pr.Timeout != time.Second || pr.MaxRows != 10 {
+		t.Errorf("timeout=%v maxrows=%d", pr.Timeout, pr.MaxRows)
+	}
+	if len(pr.Schema) != 3 {
+		t.Fatalf("schema: %+v", pr.Schema)
+	}
+	if pr.Schema[0].Name != "plate" || pr.Schema[0].Type != table.DString {
+		t.Errorf("schema[0]=%+v", pr.Schema[0])
+	}
+	if pr.Schema[2].Name != "speed" || pr.Schema[2].Type != table.DNumber || pr.Schema[2].Default.Num() != 0 {
+		t.Errorf("schema[2]=%+v", pr.Schema[2])
+	}
+
+	s1 := prog.Selects[0]
+	if s1.Agg.Fun != AggAvg {
+		t.Errorf("S1 agg=%v", s1.Agg.Fun)
+	}
+	call, ok := s1.Agg.Arg.(*CallExpr)
+	if !ok || call.Name != "range" || len(call.Args) != 3 {
+		t.Fatalf("S1 arg=%#v", s1.Agg.Arg)
+	}
+	if lo := call.Args[1].(*NumLit).V; lo != 30 {
+		t.Errorf("range lo=%v", lo)
+	}
+
+	s2 := prog.Selects[1]
+	if s2.Agg.Fun != AggCount {
+		t.Errorf("S2 agg=%v", s2.Agg.Fun)
+	}
+	if len(s2.KeyCols) != 1 || s2.KeyCols[0] != "color" {
+		t.Errorf("S2 keycols=%v", s2.KeyCols)
+	}
+	if len(s2.GroupBy) != 1 || s2.GroupBy[0] != "color" {
+		t.Errorf("S2 groupby=%v", s2.GroupBy)
+	}
+	if len(s2.GroupKeys) != 3 || s2.GroupKeys[0].Str() != "RED" {
+		t.Errorf("S2 keys=%v", s2.GroupKeys)
+	}
+	inner, ok := s2.From.(*SelectExpr)
+	if !ok || len(inner.Items) != 2 {
+		t.Fatalf("S2 from=%#v", s2.From)
+	}
+}
+
+func TestLexDurations(t *testing.T) {
+	toks, err := Lex("5sec 10min 1frame 2hr 0.5sec 3days")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []struct {
+		frames  int64
+		isFrame bool
+		secs    float64
+	}{
+		{0, false, 5}, {0, false, 600}, {1, true, 0}, {0, false, 7200}, {0, false, 0.5}, {0, false, 259200},
+	}
+	for i, w := range wants {
+		if toks[i].Kind != DURATION {
+			t.Fatalf("token %d kind=%v", i, toks[i].Kind)
+		}
+		frames, isF, secs, err := parseDurationToken(toks[i])
+		if err != nil {
+			t.Fatalf("token %d: %v", i, err)
+		}
+		if frames != w.frames || isF != w.isFrame || secs != w.secs {
+			t.Errorf("token %d: got (%d,%v,%v), want %+v", i, frames, isF, secs, w)
+		}
+	}
+}
+
+func TestLexBadDurationUnit(t *testing.T) {
+	toks, err := Lex("5parsecs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := parseDurationToken(toks[0]); err == nil {
+		t.Error("bad unit accepted")
+	}
+}
+
+func TestLexTimestamps(t *testing.T) {
+	toks, err := Lex("12-01-2020/12:00am 1-2-2021/3:45pm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TIMESTAMP || toks[1].Kind != TIMESTAMP {
+		t.Fatalf("kinds: %v %v", toks[0].Kind, toks[1].Kind)
+	}
+}
+
+func TestLexStringsAndComments(t *testing.T) {
+	toks, err := Lex(`/* c1 */ "hello \"x\"" -- trailing
+42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != STRING || toks[0].Text != `hello "x"` {
+		t.Errorf("string token: %+v", toks[0])
+	}
+	if toks[1].Kind != NUMBER || toks[1].Num != 42 {
+		t.Errorf("number token: %+v", toks[1])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "/* unterminated", "@"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+const prologue = `
+SPLIT camA BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am
+  BY TIME 5sec STRIDE 0sec INTO chunksA;
+PROCESS chunksA USING exe TIMEOUT 1sec PRODUCING 5 ROWS
+  WITH SCHEMA (n:NUMBER=0, tag:STRING="") INTO tA;
+SPLIT camB BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am
+  BY TIME 5sec STRIDE 0sec INTO chunksB;
+PROCESS chunksB USING exe TIMEOUT 1sec PRODUCING 5 ROWS
+  WITH SCHEMA (n:NUMBER=0, tag:STRING="") INTO tB;
+`
+
+func mustParse(t *testing.T, selects string) *Program {
+	t.Helper()
+	prog, err := Parse(prologue + selects)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog
+}
+
+func TestParseJoin(t *testing.T) {
+	prog := mustParse(t, `SELECT COUNT(*) FROM tA JOIN tB ON tag;`)
+	j, ok := prog.Selects[0].From.(*JoinExpr)
+	if !ok || j.Outer || len(j.On) != 1 || j.On[0] != "tag" {
+		t.Fatalf("join: %#v", prog.Selects[0].From)
+	}
+	prog2 := mustParse(t, `SELECT COUNT(*) FROM tA OUTER JOIN tB ON tag;`)
+	j2 := prog2.Selects[0].From.(*JoinExpr)
+	if !j2.Outer {
+		t.Errorf("outer join not flagged")
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	prog := mustParse(t, `SELECT COUNT(*) FROM
+ (SELECT tag FROM tA) UNION (SELECT tag FROM tB) UNION (SELECT tag FROM tA);`)
+	u, ok := prog.Selects[0].From.(*UnionExpr)
+	if !ok {
+		t.Fatalf("from = %#v", prog.Selects[0].From)
+	}
+	// Left-associative: ((A UNION B) UNION A).
+	if _, ok := u.Left.(*UnionExpr); !ok {
+		t.Errorf("union not left-associative: %#v", u.Left)
+	}
+	if _, ok := u.Right.(*SelectExpr); !ok {
+		t.Errorf("union right side: %#v", u.Right)
+	}
+}
+
+func TestParseWhereLimit(t *testing.T) {
+	prog := mustParse(t, `SELECT SUM(range(n, 0, 10)) FROM (SELECT n FROM tA WHERE n > 3 AND tag = "x" LIMIT 100);`)
+	se := prog.Selects[0].From.(*SelectExpr)
+	if se.Where == nil || se.Limit != 100 {
+		t.Fatalf("where/limit: %#v", se)
+	}
+	w := se.Where.(*BinExpr)
+	if w.Op != "AND" {
+		t.Errorf("where op=%v", w.Op)
+	}
+}
+
+func TestParseInnerGroupDedup(t *testing.T) {
+	prog := mustParse(t, `SELECT COUNT(*) FROM (SELECT tag FROM tA GROUP BY tag);`)
+	g, ok := prog.Selects[0].From.(*GroupExpr)
+	if !ok || len(g.Keys) != 1 || g.Keys[0] != "tag" {
+		t.Fatalf("group: %#v", prog.Selects[0].From)
+	}
+	if _, ok := g.From.(*SelectExpr); !ok {
+		t.Errorf("group input: %#v", g.From)
+	}
+}
+
+func TestParseConsuming(t *testing.T) {
+	prog := mustParse(t, `SELECT COUNT(*) FROM tA CONSUMING 0.5;`)
+	if prog.Selects[0].Consuming != 0.5 {
+		t.Errorf("consuming=%v", prog.Selects[0].Consuming)
+	}
+}
+
+func TestParseByRegionWithMask(t *testing.T) {
+	src := `
+SPLIT camA BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am
+  BY TIME 1frame STRIDE 0sec BY REGION directions WITH MASK m1 INTO c;
+PROCESS c USING exe TIMEOUT 1sec PRODUCING 1 ROWS WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT SUM(range(n,0,1)) FROM t;`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := prog.Splits[0]
+	if sp.Region != "directions" || sp.Mask != "m1" {
+		t.Errorf("split opts: %+v", sp)
+	}
+	if !sp.Chunk.IsFrames || sp.Chunk.Frames != 1 {
+		t.Errorf("frame chunk: %+v", sp.Chunk)
+	}
+}
+
+func TestParseNegativeStride(t *testing.T) {
+	src := `
+SPLIT camA BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am
+  BY TIME 5sec STRIDE -2sec INTO c;
+PROCESS c USING exe TIMEOUT 1sec PRODUCING 1 ROWS WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t;`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Splits[0].Stride.Seconds != -2 {
+		t.Errorf("stride=%+v", prog.Splits[0].Stride)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown table", prologue + `SELECT COUNT(*) FROM nosuch;`, "unknown table"},
+		{"keycol mismatch", prologue + `SELECT tag, COUNT(*) FROM tA GROUP BY n WITH KEYS [1];`, "does not match"},
+		{"argmax needs group", prologue + `SELECT ARGMAX(n) FROM tA;`, "ARGMAX requires GROUP BY"},
+		{"star only count", prologue + `SELECT SUM(*) FROM tA;`, "only COUNT"},
+		{"bad range bounds", prologue + `SELECT SUM(range(n, n, 10)) FROM tA;`, "numeric literals"},
+		{"unknown func", prologue + `SELECT SUM(sqrt(n)) FROM tA;`, "unknown function"},
+		{"negative consuming", prologue + `SELECT COUNT(*) FROM tA CONSUMING -1;`, "non-negative"},
+		{"keys without group", prologue + `SELECT COUNT(*) FROM tA WITH KEYS [1];`, ""},
+		{"begin after end", `SPLIT c BEGIN 01-02-2021/12:00am END 01-01-2021/12:00am BY TIME 5sec STRIDE 0sec INTO x;`, "END must be after"},
+		{"zero chunk", `SPLIT c BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am BY TIME 0sec STRIDE 0sec INTO x;`, "positive"},
+		{"reserved column", `SPLIT c BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am BY TIME 5sec STRIDE 0sec INTO x;
+PROCESS x USING e TIMEOUT 1sec PRODUCING 1 ROWS WITH SCHEMA (chunk:NUMBER=0) INTO t;`, "reserved"},
+		{"zero rows", `SPLIT c BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am BY TIME 5sec STRIDE 0sec INTO x;
+PROCESS x USING e TIMEOUT 1sec PRODUCING 0 ROWS WITH SCHEMA (n:NUMBER=0) INTO t;`, "at least 1 row"},
+		{"process unknown chunks", `PROCESS nope USING e TIMEOUT 1sec PRODUCING 1 ROWS WITH SCHEMA (n:NUMBER=0) INTO t;`, "not a SPLIT output"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error")
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	bad := []string{
+		`SPLIT;`,
+		`SELECT FROM tA;`,
+		`SPLIT camA BEGIN notadate END 01-01-2021/12:00am BY TIME 5sec STRIDE 0sec INTO c;`,
+		`FOO bar;`,
+		prologue + `SELECT COUNT( FROM tA;`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	prog := mustParse(t, `SELECT SUM(range(n, 0, 100)) FROM (SELECT n + 2 * 3 AS n FROM tA);`)
+	se := prog.Selects[0].From.(*SelectExpr)
+	add, ok := se.Items[0].Expr.(*BinExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top op: %#v", se.Items[0].Expr)
+	}
+	mul, ok := add.R.(*BinExpr)
+	if !ok || mul.Op != "*" {
+		t.Errorf("precedence wrong: %#v", add.R)
+	}
+	if se.Items[0].Alias != "n" {
+		t.Errorf("alias=%q", se.Items[0].Alias)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	src := strings.ToLower(prologue) + `select count(*) from ta;`
+	// Note: identifiers are case-sensitive, so lowercase the whole
+	// program (tables become "ta" etc).
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("lowercase program rejected: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package query
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+const (
+	// EOF marks the end of input.
+	EOF Kind = iota
+	// IDENT is an identifier or keyword (keywords are matched
+	// case-insensitively by the parser).
+	IDENT
+	// NUMBER is a numeric literal.
+	NUMBER
+	// STRING is a double-quoted string literal.
+	STRING
+	// DURATION is a number with a unit suffix, e.g. 5sec, 10min,
+	// 1frame.
+	DURATION
+	// TIMESTAMP is a datetime literal, e.g. 12-01-2020/12:00am.
+	TIMESTAMP
+	// PUNCT is a punctuation token: ( ) [ ] , ; : = * etc.
+	PUNCT
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case IDENT:
+		return "identifier"
+	case NUMBER:
+		return "number"
+	case STRING:
+		return "string"
+	case DURATION:
+		return "duration"
+	case TIMESTAMP:
+		return "timestamp"
+	case PUNCT:
+		return "punctuation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Pos is a 1-based line/column source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text (strings are unquoted)
+	Num  float64
+	Pos  Pos
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	if t.Kind == EOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Error is a parse or validation error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("query:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,210 @@
+package query
+
+import (
+	"privid/internal/table"
+)
+
+// Validate performs the static checks that do not require camera or
+// table metadata: statement wiring (every PROCESS input and SELECT
+// table must be defined), schema sanity, aggregation shape, and
+// builtin-function arity. Checks that need runtime metadata (range
+// constraints, trusted group keys) happen in the relational layer.
+func Validate(p *Program) error {
+	chunkSets := map[string]bool{}
+	tables := map[string]bool{}
+
+	for _, s := range p.Splits {
+		if s.Into == "" {
+			return errf(s.Pos, "SPLIT missing INTO")
+		}
+		if chunkSets[s.Into] {
+			return errf(s.Pos, "duplicate chunk set %q", s.Into)
+		}
+		chunkSets[s.Into] = true
+		if !s.End.After(s.Begin) {
+			return errf(s.Pos, "SPLIT END must be after BEGIN")
+		}
+		if s.Chunk.IsFrames {
+			if s.Chunk.Frames <= 0 {
+				return errf(s.Pos, "chunk duration must be positive")
+			}
+		} else if s.Chunk.Seconds <= 0 {
+			return errf(s.Pos, "chunk duration must be positive")
+		}
+	}
+
+	for _, st := range p.Processes {
+		if !chunkSets[st.Input] {
+			return errf(st.Pos, "PROCESS input %q is not a SPLIT output", st.Input)
+		}
+		if tables[st.Into] || chunkSets[st.Into] {
+			return errf(st.Pos, "duplicate table %q", st.Into)
+		}
+		tables[st.Into] = true
+		if st.MaxRows < 1 {
+			return errf(st.Pos, "PRODUCING must declare at least 1 row (got %d)", st.MaxRows)
+		}
+		if st.Timeout <= 0 {
+			return errf(st.Pos, "TIMEOUT must be positive")
+		}
+		if len(st.Schema) == 0 {
+			return errf(st.Pos, "schema must declare at least one column")
+		}
+		seen := map[string]bool{}
+		for _, c := range st.Schema {
+			if c.Name == table.ChunkColumn || c.Name == table.RegionColumn {
+				return errf(st.Pos, "column name %q is reserved", c.Name)
+			}
+			if seen[c.Name] {
+				return errf(st.Pos, "duplicate column %q", c.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+
+	if len(p.Selects) == 0 {
+		return nil // a program may define tables for later selects
+	}
+	for _, st := range p.Selects {
+		if err := validateSelect(st, tables); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateSelect(st *SelectStmt, tables map[string]bool) error {
+	// Key columns must exactly mirror the GROUP BY list.
+	if len(st.KeyCols) > 0 {
+		if len(st.KeyCols) != len(st.GroupBy) {
+			return errf(st.Pos, "output key columns %v must match GROUP BY %v", st.KeyCols, st.GroupBy)
+		}
+		for i := range st.KeyCols {
+			if st.KeyCols[i] != st.GroupBy[i] {
+				return errf(st.Pos, "output key column %q does not match GROUP BY column %q", st.KeyCols[i], st.GroupBy[i])
+			}
+		}
+	}
+	if st.Agg.Fun == AggArgmax && len(st.GroupBy) == 0 {
+		return errf(st.Agg.Pos, "ARGMAX requires GROUP BY")
+	}
+	if st.Agg.Star && st.Agg.Fun != AggCount {
+		return errf(st.Agg.Pos, "only COUNT may take *")
+	}
+	if !st.Agg.Star && st.Agg.Arg == nil {
+		return errf(st.Agg.Pos, "aggregation requires an argument")
+	}
+	if st.Consuming < 0 {
+		return errf(st.Pos, "CONSUMING must be non-negative")
+	}
+	if len(st.GroupKeys) > 0 && len(st.GroupBy) == 0 {
+		return errf(st.Pos, "WITH KEYS requires GROUP BY")
+	}
+	if err := validateRel(st.From, tables); err != nil {
+		return err
+	}
+	if st.Agg.Arg != nil {
+		if err := validateExpr(st.Agg.Arg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateRel(r RelExpr, tables map[string]bool) error {
+	switch rel := r.(type) {
+	case *TableRef:
+		if !tables[rel.Name] {
+			return errf(rel.Pos, "unknown table %q", rel.Name)
+		}
+		return nil
+	case *SelectExpr:
+		if !rel.Star && len(rel.Items) == 0 {
+			return errf(rel.Pos, "inner SELECT must project at least one column")
+		}
+		for _, it := range rel.Items {
+			if err := validateExpr(it.Expr); err != nil {
+				return err
+			}
+		}
+		if rel.Where != nil {
+			if err := validateExpr(rel.Where); err != nil {
+				return err
+			}
+		}
+		if rel.Limit < 0 {
+			return errf(rel.Pos, "LIMIT must be non-negative")
+		}
+		return validateRel(rel.From, tables)
+	case *GroupExpr:
+		if len(rel.Keys) == 0 {
+			return errf(rel.Pos, "GROUP BY requires at least one column")
+		}
+		return validateRel(rel.From, tables)
+	case *JoinExpr:
+		if len(rel.On) == 0 {
+			return errf(rel.Pos, "JOIN requires ON columns")
+		}
+		if err := validateRel(rel.Left, tables); err != nil {
+			return err
+		}
+		return validateRel(rel.Right, tables)
+	case *UnionExpr:
+		if err := validateRel(rel.Left, tables); err != nil {
+			return err
+		}
+		return validateRel(rel.Right, tables)
+	default:
+		return errf(r.Position(), "unknown relational expression")
+	}
+}
+
+// builtinArity maps supported builtin scalar functions to their arity.
+var builtinArity = map[string]int{
+	"range": 3, // range(col, lo, hi): truncate + declare range
+	"hour":  1, // hour(chunk): hour-of-day bucket
+	"day":   1, // day(chunk): day bucket
+	"bin":   2, // bin(chunk, seconds): fixed-width time bucket
+}
+
+func validateExpr(e Expr) error {
+	switch ex := e.(type) {
+	case *ColRef, *NumLit, *StrLit:
+		return nil
+	case *BinExpr:
+		switch ex.Op {
+		case "+", "-", "*", "/", "=", "!=", "<", "<=", ">", ">=", "AND", "OR":
+		default:
+			return errf(ex.Pos, "unknown operator %q", ex.Op)
+		}
+		if err := validateExpr(ex.L); err != nil {
+			return err
+		}
+		return validateExpr(ex.R)
+	case *CallExpr:
+		want, ok := builtinArity[ex.Name]
+		if !ok {
+			return errf(ex.Pos, "unknown function %q", ex.Name)
+		}
+		if len(ex.Args) != want {
+			return errf(ex.Pos, "%s expects %d arguments, got %d", ex.Name, want, len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			if err := validateExpr(a); err != nil {
+				return err
+			}
+		}
+		// range's bounds must be numeric literals so the sensitivity
+		// analysis can read them statically.
+		if ex.Name == "range" {
+			for i := 1; i <= 2; i++ {
+				if _, ok := ex.Args[i].(*NumLit); !ok {
+					return errf(ex.Args[i].Position(), "range bounds must be numeric literals")
+				}
+			}
+		}
+		return nil
+	default:
+		return errf(e.Position(), "unknown expression")
+	}
+}

@@ -1,0 +1,121 @@
+package region
+
+import (
+	"fmt"
+	"math"
+
+	"privid/internal/geom"
+	"privid/internal/vtime"
+)
+
+// GridScheme implements the paper's Grid Split extension (§7.2,
+// "future work"): the frame is divided into a uniform grid and spatial
+// splitting is allowed with any chunk size and no soft/hard boundary
+// restriction. Instead of assuming individuals stay in one region, the
+// owner declares two physical bounds — the maximum size of any private
+// object and the maximum speed at which anything crosses the frame —
+// from which Privid derives how many grid-cell regions a single
+// individual can influence within one chunk. The per-event row bound
+// ΔP is multiplied by that count.
+type GridScheme struct {
+	Name string
+	// Rows and Cols define the grid.
+	Rows, Cols int
+	// FrameW and FrameH are the frame dimensions in pixels.
+	FrameW, FrameH float64
+	// MaxObjectW and MaxObjectH bound any private object's bounding
+	// box (pixels).
+	MaxObjectW, MaxObjectH float64
+	// MaxSpeedPxPerSec bounds any object's on-screen speed.
+	MaxSpeedPxPerSec float64
+}
+
+// Validate checks the physical bounds are usable.
+func (g GridScheme) Validate() error {
+	if g.Rows < 1 || g.Cols < 1 {
+		return fmt.Errorf("region: grid %q needs at least 1x1 cells", g.Name)
+	}
+	if g.FrameW <= 0 || g.FrameH <= 0 {
+		return fmt.Errorf("region: grid %q has empty frame", g.Name)
+	}
+	if g.MaxObjectW <= 0 || g.MaxObjectH <= 0 {
+		return fmt.Errorf("region: grid %q needs positive max object size", g.Name)
+	}
+	if g.MaxSpeedPxPerSec < 0 {
+		return fmt.Errorf("region: grid %q has negative max speed", g.Name)
+	}
+	return nil
+}
+
+// CellW returns the cell width in pixels.
+func (g GridScheme) CellW() float64 { return g.FrameW / float64(g.Cols) }
+
+// CellH returns the cell height in pixels.
+func (g GridScheme) CellH() float64 { return g.FrameH / float64(g.Rows) }
+
+// CellsOccupied returns the maximum number of grid cells a single
+// object can overlap at one instant: an object of size w×h placed
+// anywhere overlaps at most ceil(w/cw)+1 columns and ceil(h/ch)+1
+// rows... more precisely floor(w/cw)+1 columns when not aligned, so we
+// use the conservative ⌈w/cw⌉+1.
+func (g GridScheme) CellsOccupied() int {
+	cols := int(math.Ceil(g.MaxObjectW/g.CellW())) + 1
+	rows := int(math.Ceil(g.MaxObjectH/g.CellH())) + 1
+	if cols > g.Cols {
+		cols = g.Cols
+	}
+	if rows > g.Rows {
+		rows = g.Rows
+	}
+	return cols * rows
+}
+
+// RegionsPerChunk returns the maximum number of grid-cell regions a
+// single individual can influence within one chunk of the given
+// duration: the cells it occupies plus the cells a maximal-speed
+// traversal sweeps through.
+func (g GridScheme) RegionsPerChunk(chunkFrames int64, fps vtime.FrameRate) int {
+	occupied := g.CellsOccupied()
+	if fps <= 0 || chunkFrames <= 0 {
+		return occupied
+	}
+	chunkSec := float64(chunkFrames) / float64(fps)
+	travelPx := g.MaxSpeedPxPerSec * chunkSec
+	// Worst case the travel is along the finer grid axis; each cell
+	// length traveled can add one new column (or row) of occupied
+	// cells.
+	minCell := math.Min(g.CellW(), g.CellH())
+	crossedLines := int(math.Ceil(travelPx / minCell))
+	span := occupied + crossedLines*intMax(int(math.Ceil(g.MaxObjectW/g.CellW()))+1,
+		int(math.Ceil(g.MaxObjectH/g.CellH()))+1)
+	if total := g.Rows * g.Cols; span > total {
+		span = total
+	}
+	return span
+}
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Scheme materializes the grid as a named-region scheme (one region
+// per cell, named "rRcC").
+func (g GridScheme) Scheme() Scheme {
+	s := Scheme{Name: g.Name}
+	cw, ch := g.CellW(), g.CellH()
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			s.Regions = append(s.Regions, Named{
+				Name: fmt.Sprintf("r%dc%d", r, c),
+				Rect: geom.Rect{
+					X0: float64(c) * cw, Y0: float64(r) * ch,
+					X1: float64(c+1) * cw, Y1: float64(r+1) * ch,
+				},
+			})
+		}
+	}
+	return s
+}

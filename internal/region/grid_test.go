@@ -1,0 +1,96 @@
+package region
+
+import (
+	"testing"
+)
+
+func testGrid() GridScheme {
+	return GridScheme{
+		Name: "g", Rows: 4, Cols: 8,
+		FrameW: 800, FrameH: 400, // cells are 100x100
+		MaxObjectW: 50, MaxObjectH: 50,
+		MaxSpeedPxPerSec: 100,
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	if err := testGrid().Validate(); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	bad := []GridScheme{
+		{Name: "b", Rows: 0, Cols: 1, FrameW: 1, FrameH: 1, MaxObjectW: 1, MaxObjectH: 1},
+		{Name: "b", Rows: 1, Cols: 1, FrameW: 0, FrameH: 1, MaxObjectW: 1, MaxObjectH: 1},
+		{Name: "b", Rows: 1, Cols: 1, FrameW: 1, FrameH: 1, MaxObjectW: 0, MaxObjectH: 1},
+		{Name: "b", Rows: 1, Cols: 1, FrameW: 1, FrameH: 1, MaxObjectW: 1, MaxObjectH: 1, MaxSpeedPxPerSec: -1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad grid %d accepted", i)
+		}
+	}
+}
+
+func TestGridCellsOccupied(t *testing.T) {
+	g := testGrid()
+	// A 50x50 object on a 100x100 grid can straddle one boundary per
+	// axis: 2x2 cells.
+	if got := g.CellsOccupied(); got != 4 {
+		t.Errorf("CellsOccupied=%d, want 4", got)
+	}
+	// An object spanning a full cell can straddle two boundaries.
+	g.MaxObjectW, g.MaxObjectH = 150, 150
+	if got := g.CellsOccupied(); got != 9 {
+		t.Errorf("big CellsOccupied=%d, want 9", got)
+	}
+	// Capped at the grid size.
+	g.MaxObjectW, g.MaxObjectH = 10000, 10000
+	if got := g.CellsOccupied(); got != g.Rows*g.Cols {
+		t.Errorf("capped CellsOccupied=%d, want %d", got, g.Rows*g.Cols)
+	}
+}
+
+func TestGridRegionsPerChunk(t *testing.T) {
+	g := testGrid()
+	// Stationary bound: zero-duration chunk -> just the occupied cells.
+	static := g.RegionsPerChunk(0, 10)
+	if static != g.CellsOccupied() {
+		t.Errorf("static=%d, want %d", static, g.CellsOccupied())
+	}
+	// Longer chunks sweep more cells, monotonically.
+	prev := 0
+	for _, chunkFrames := range []int64{10, 50, 100, 200} {
+		got := g.RegionsPerChunk(chunkFrames, 10)
+		if got < prev {
+			t.Errorf("RegionsPerChunk not monotone at %d frames: %d < %d", chunkFrames, got, prev)
+		}
+		prev = got
+	}
+	// A 10s chunk at 100 px/s crosses 10 cell-lengths: many more cells
+	// than the static bound.
+	if got := g.RegionsPerChunk(100, 10); got <= static {
+		t.Errorf("moving bound %d should exceed static %d", got, static)
+	}
+	// Capped at the grid size.
+	if got := g.RegionsPerChunk(1_000_000, 10); got != g.Rows*g.Cols {
+		t.Errorf("capped=%d, want %d", got, g.Rows*g.Cols)
+	}
+}
+
+func TestGridScheme(t *testing.T) {
+	g := testGrid()
+	s := g.Scheme()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("materialized scheme invalid: %v", err)
+	}
+	if len(s.Regions) != 32 {
+		t.Fatalf("%d regions, want 32", len(s.Regions))
+	}
+	// Regions tile the frame disjointly.
+	var area float64
+	for _, r := range s.Regions {
+		area += r.Rect.Area()
+	}
+	if area != g.FrameW*g.FrameH {
+		t.Errorf("regions cover %v, want %v", area, g.FrameW*g.FrameH)
+	}
+}

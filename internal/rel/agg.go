@@ -1,0 +1,333 @@
+package rel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"privid/internal/query"
+	"privid/internal/table"
+)
+
+// Score is one candidate of an ARGMAX release: a group key and its raw
+// (pre-noise) score.
+type Score struct {
+	Key table.Value
+	Raw float64
+}
+
+// Release is one data release produced by a SELECT: a single
+// aggregate value (or, for ARGMAX, a set of scores from which the
+// noisy-max key is chosen) together with the sensitivity the Laplace
+// mechanism must cover, the time window it depends on, and the cameras
+// it draws budget from.
+type Release struct {
+	// Desc is a human-readable description, e.g. `COUNT(plate)[color=RED]`.
+	Desc string
+	// Key is the group key when the SELECT used GROUP BY.
+	Key    table.Value
+	HasKey bool
+	// Fun is the aggregation function.
+	Fun query.AggFun
+	// Raw is the pre-noise aggregate (unused for ARGMAX).
+	Raw float64
+	// Scores holds the per-key raw scores for ARGMAX.
+	Scores []Score
+	// Sensitivity is Δ(Q): the maximum the release can change with the
+	// presence/absence of any (ρ, K)-bounded event.
+	Sensitivity float64
+	// Begin/End bound the wall-clock span of video the release depends
+	// on (a single bucket for trusted time grouping, else the full
+	// window).
+	Begin, End time.Time
+	// Cameras lists the cameras whose budgets the release consumes.
+	Cameras []string
+	// Epsilon is the budget this release will consume; the engine
+	// fills it from CONSUMING or its default.
+	Epsilon float64
+}
+
+// ExecuteSelect runs one SELECT statement over the environment and
+// returns its data releases with sensitivities attached.
+func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
+	tbl, cons, err := execRel(st.From, env)
+	if err != nil {
+		return nil, err
+	}
+	begin, end := cons.Window()
+	cameras := camerasOf(cons)
+
+	base := Release{Fun: st.Agg.Fun, Begin: begin, End: end, Cameras: cameras}
+
+	if len(st.GroupBy) == 0 {
+		if st.Agg.Fun == query.AggArgmax {
+			return nil, fmt.Errorf("rel: ARGMAX requires GROUP BY")
+		}
+		raw, sens, err := aggregate(st.Agg, tbl.Schema, tbl.Rows, cons)
+		if err != nil {
+			return nil, err
+		}
+		r := base
+		r.Desc = aggDesc(st.Agg, "")
+		r.Raw = raw
+		r.Sensitivity = sens
+		return []Release{r}, nil
+	}
+
+	if len(st.GroupBy) != 1 {
+		return nil, fmt.Errorf("rel: outer GROUP BY supports a single column (got %v)", st.GroupBy)
+	}
+	col := st.GroupBy[0]
+	ci := tbl.Schema.Index(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("rel: GROUP BY unknown column %q", col)
+	}
+
+	// Determine the release keys: explicit WITH KEYS, or every bucket
+	// of a trusted time column. Analyst-defined columns without
+	// explicit keys are rejected — otherwise the mere presence of a
+	// rare key leaks information (§6.2).
+	var keys []table.Value
+	var windows [][2]time.Time
+	switch {
+	case len(st.GroupKeys) > 0:
+		keys = st.GroupKeys
+		for range keys {
+			windows = append(windows, [2]time.Time{begin, end})
+		}
+	case cons.Trusted[col]:
+		spec, ok := cons.Buckets[col]
+		if !ok {
+			return nil, fmt.Errorf("rel: cannot enumerate buckets of trusted column %q; use hour()/day()/bin()", col)
+		}
+		keys, windows = enumerateBuckets(spec, begin, end)
+	default:
+		return nil, fmt.Errorf("rel: GROUP BY %q requires WITH KEYS (analyst-defined keys leak data)", col)
+	}
+
+	// Partition rows by key.
+	byKey := map[string][]table.Row{}
+	for _, row := range tbl.Rows {
+		byKey[row[ci].Key()] = append(byKey[row[ci].Key()], row)
+	}
+
+	if st.Agg.Fun == query.AggArgmax {
+		r := base
+		r.Desc = aggDesc(st.Agg, col)
+		// Fig. 10: ARGMAX sensitivity is max_k Δ(σ_a=k(R)). When the
+		// group column provably partitions the relation by source
+		// branch (a trusted per-table literal), each key's influence
+		// is its own branch's Δ, not the union's sum.
+		r.Sensitivity = cons.Delta
+		if kd, ok := cons.KeyDeltas[col]; ok {
+			maxD, covered := 0.0, true
+			for _, k := range keys {
+				d, ok := kd[k.Str()]
+				if !ok {
+					covered = false
+					break
+				}
+				if d > maxD {
+					maxD = d
+				}
+			}
+			if covered {
+				r.Sensitivity = maxD
+			}
+		}
+		for _, k := range keys {
+			r.Scores = append(r.Scores, Score{Key: k, Raw: float64(len(byKey[k.Key()]))})
+		}
+		return []Release{r}, nil
+	}
+
+	var out []Release
+	for i, k := range keys {
+		raw, sens, err := aggregate(st.Agg, tbl.Schema, byKey[k.Key()], cons)
+		if err != nil {
+			return nil, err
+		}
+		r := base
+		r.Desc = aggDesc(st.Agg, "") + "[" + col + "=" + k.Str() + "]"
+		r.Key = k
+		r.HasKey = true
+		r.Raw = raw
+		r.Sensitivity = sens
+		r.Begin, r.End = windows[i][0], windows[i][1]
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// aggregate computes one aggregate and its sensitivity over a row set.
+func aggregate(agg query.AggExpr, schema table.Schema, rows []table.Row, cons Constraints) (raw, sens float64, err error) {
+	if agg.Fun == query.AggCount {
+		return float64(len(rows)), cons.Delta, nil
+	}
+	// The remaining functions need a numeric argument with a declared
+	// range (Fig. 10's constraint column).
+	rg, ok := exprRange(agg.Arg, cons.Ranges)
+	if !ok {
+		return 0, 0, fmt.Errorf("rel: %s requires a range constraint on its argument (use range(col, lo, hi))", agg.Fun)
+	}
+	width := rg.Width()
+	var vals []float64
+	for _, row := range rows {
+		v, err := evalExpr(agg.Arg, schema, row)
+		if err != nil {
+			return 0, 0, err
+		}
+		x := v.Num()
+		// Defensive truncation: the declared range is a privacy
+		// constraint, so it is enforced regardless of what the
+		// untrusted rows contain.
+		if x < rg.Lo {
+			x = rg.Lo
+		}
+		if x > rg.Hi {
+			x = rg.Hi
+		}
+		vals = append(vals, x)
+	}
+	switch agg.Fun {
+	case query.AggSum:
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s, cons.Delta * width, nil
+	case query.AggAvg:
+		if math.IsInf(cons.Size, 1) {
+			return 0, 0, fmt.Errorf("rel: AVG requires a bounded relation size (use LIMIT or GROUP BY ... WITH KEYS)")
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		mean := 0.0
+		if len(vals) > 0 {
+			mean = s / float64(len(vals))
+		}
+		return mean, cons.Delta * width / math.Max(cons.Size, 1), nil
+	case query.AggVar:
+		if math.IsInf(cons.Size, 1) {
+			return 0, 0, fmt.Errorf("rel: VAR requires a bounded relation size")
+		}
+		if len(vals) == 0 {
+			return 0, square(cons.Delta*width) / math.Max(cons.Size, 1), nil
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		mean := s / float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			d := v - mean
+			ss += d * d
+		}
+		return ss / float64(len(vals)), square(cons.Delta*width) / math.Max(cons.Size, 1), nil
+	default:
+		return 0, 0, fmt.Errorf("rel: unsupported aggregation %v", agg.Fun)
+	}
+}
+
+func square(x float64) float64 { return x * x }
+
+// enumerateBuckets lists every bucket of a trusted time column within
+// the window, with each bucket's own wall-clock span (used for
+// fine-grained budget accounting of standing queries).
+func enumerateBuckets(spec BucketSpec, begin, end time.Time) ([]table.Value, [][2]time.Time) {
+	var keys []table.Value
+	var windows [][2]time.Time
+	if spec.HourOfDay {
+		// Hours of day present in the window; for windows >= 24 h all
+		// 24 are present. Each hour-of-day release depends on every
+		// matching hour of the window, so its span is the whole
+		// window (conservative).
+		hours := map[int]bool{}
+		for t := begin; t.Before(end); t = t.Add(time.Hour) {
+			hours[t.Hour()] = true
+		}
+		var hs []int
+		for h := range hours {
+			hs = append(hs, h)
+		}
+		sort.Ints(hs)
+		for _, h := range hs {
+			keys = append(keys, table.N(float64(h)))
+			windows = append(windows, [2]time.Time{begin, end})
+		}
+		return keys, windows
+	}
+	w := spec.WidthSec
+	if w <= 0 {
+		return nil, nil
+	}
+	step := time.Duration(w * float64(time.Second))
+	// Buckets are aligned to the epoch, matching bin()'s floor.
+	first := math.Floor(float64(begin.Unix())/w) * w
+	for t := first; t < float64(end.Unix()); t += w {
+		keys = append(keys, table.N(t))
+		bs := time.Unix(int64(t), 0).UTC()
+		be := bs.Add(step)
+		if bs.Before(begin) {
+			bs = begin
+		}
+		if be.After(end) {
+			be = end
+		}
+		windows = append(windows, [2]time.Time{bs, be})
+	}
+	return keys, windows
+}
+
+func camerasOf(cons Constraints) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range cons.Metas {
+		if !seen[m.Camera] {
+			seen[m.Camera] = true
+			out = append(out, m.Camera)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// aggDesc renders a short description of the aggregation.
+func aggDesc(agg query.AggExpr, argmaxCol string) string {
+	if agg.Fun == query.AggArgmax {
+		return "ARGMAX(" + argmaxCol + ")"
+	}
+	if agg.Star {
+		return agg.Fun.String() + "(*)"
+	}
+	return agg.Fun.String() + "(" + exprString(agg.Arg) + ")"
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e query.Expr) string {
+	switch ex := e.(type) {
+	case *query.ColRef:
+		return ex.Name
+	case *query.NumLit:
+		return table.N(ex.V).Str()
+	case *query.StrLit:
+		return fmt.Sprintf("%q", ex.V)
+	case *query.BinExpr:
+		return exprString(ex.L) + ex.Op + exprString(ex.R)
+	case *query.CallExpr:
+		s := ex.Name + "("
+		for i, a := range ex.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += exprString(a)
+		}
+		return s + ")"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,508 @@
+package rel
+
+import (
+	"fmt"
+	"math"
+
+	"privid/internal/query"
+	"privid/internal/table"
+)
+
+// execRel evaluates a relational expression, returning its rows and
+// the propagated privacy constraints.
+func execRel(r query.RelExpr, env Env) (*table.Table, Constraints, error) {
+	switch rel := r.(type) {
+	case *query.TableRef:
+		return execTableRef(rel, env)
+	case *query.SelectExpr:
+		return execSelect(rel, env)
+	case *query.GroupExpr:
+		return execGroup(rel, env)
+	case *query.JoinExpr:
+		return execJoin(rel, env)
+	case *query.UnionExpr:
+		return execUnion(rel, env)
+	default:
+		return nil, Constraints{}, fmt.Errorf("rel: unsupported expression %T", r)
+	}
+}
+
+func execTableRef(rel *query.TableRef, env Env) (*table.Table, Constraints, error) {
+	inst, ok := env[rel.Name]
+	if !ok {
+		return nil, Constraints{}, fmt.Errorf("rel: unknown table %q", rel.Name)
+	}
+	m := inst.Meta
+	cons := Constraints{
+		Delta:   m.Delta(),
+		Size:    m.Size(),
+		Ranges:  map[string]Range{},
+		Trusted: map[string]bool{table.ChunkColumn: true},
+		Buckets: map[string]BucketSpec{
+			table.ChunkColumn: {WidthSec: m.FPS.Seconds(m.ChunkFrames)},
+		},
+		Metas: []TableMeta{m},
+	}
+	if inst.Data.Schema.Has(table.RegionColumn) {
+		cons.Trusted[table.RegionColumn] = true
+	}
+	return inst.Data, cons, nil
+}
+
+func execSelect(rel *query.SelectExpr, env Env) (*table.Table, Constraints, error) {
+	in, cons, err := execRel(rel.From, env)
+	if err != nil {
+		return nil, Constraints{}, err
+	}
+	rows := in.Rows
+	// WHERE filters on the input schema.
+	if rel.Where != nil {
+		var kept []table.Row
+		for _, row := range rows {
+			v, err := evalExpr(rel.Where, in.Schema, row)
+			if err != nil {
+				return nil, Constraints{}, err
+			}
+			if v.Num() != 0 {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	// LIMIT caps the row count and, importantly, binds C̃s (Fig. 10's
+	// σ_limit rule).
+	if rel.Limit > 0 && len(rows) > rel.Limit {
+		rows = rows[:rel.Limit]
+	}
+	out := cons.clone()
+	if rel.Limit > 0 {
+		out.Size = math.Min(out.Size, float64(rel.Limit))
+	}
+	if rel.Star {
+		t := table.New(in.Schema)
+		t.Rows = rows
+		return t, out, nil
+	}
+	// Projection: evaluate each item, deriving the new constraint
+	// maps (Fig. 10's Π rules).
+	var cols []table.Column
+	names := make([]string, len(rel.Items))
+	for i, it := range rel.Items {
+		name := it.Alias
+		if name == "" {
+			name = exprName(it.Expr, i)
+		}
+		names[i] = name
+		cols = append(cols, table.Column{Name: name, Type: exprType(it.Expr, in.Schema)})
+	}
+	newRanges := map[string]Range{}
+	newTrusted := map[string]bool{}
+	newBuckets := map[string]BucketSpec{}
+	for i, it := range rel.Items {
+		if rg, ok := exprRange(it.Expr, cons.Ranges); ok {
+			newRanges[names[i]] = rg
+		}
+		if exprTrusted(it.Expr, cons.Trusted) {
+			newTrusted[names[i]] = true
+		}
+		if b, ok := exprBucket(it.Expr, cons.Buckets); ok {
+			newBuckets[names[i]] = b
+		}
+	}
+	newLiterals := map[string]string{}
+	newKeyDeltas := map[string]map[string]float64{}
+	for i, it := range rel.Items {
+		switch ex := it.Expr.(type) {
+		case *query.StrLit:
+			newLiterals[names[i]] = ex.V
+		case *query.ColRef:
+			if v, ok := cons.LiteralCols[ex.Name]; ok {
+				newLiterals[names[i]] = v
+			}
+			if kd, ok := cons.KeyDeltas[ex.Name]; ok {
+				newKeyDeltas[names[i]] = kd
+			}
+		}
+	}
+	out.Ranges = newRanges
+	out.Trusted = newTrusted
+	out.Buckets = newBuckets
+	out.LiteralCols = newLiterals
+	out.KeyDeltas = newKeyDeltas
+	out.DedupKeys = nil
+
+	t := &table.Table{Schema: table.Schema{Cols: cols}}
+	for _, row := range rows {
+		nr := make(table.Row, len(rel.Items))
+		for i, it := range rel.Items {
+			v, err := evalExpr(it.Expr, in.Schema, row)
+			if err != nil {
+				return nil, Constraints{}, err
+			}
+			nr[i] = v.Coerce(cols[i].Type)
+		}
+		t.Rows = append(t.Rows, nr)
+	}
+	return t, out, nil
+}
+
+func execGroup(rel *query.GroupExpr, env Env) (*table.Table, Constraints, error) {
+	in, cons, err := execRel(rel.From, env)
+	if err != nil {
+		return nil, Constraints{}, err
+	}
+	idx := make([]int, len(rel.Keys))
+	for i, k := range rel.Keys {
+		idx[i] = in.Schema.Index(k)
+		if idx[i] < 0 {
+			return nil, Constraints{}, fmt.Errorf("rel: GROUP BY unknown column %q", k)
+		}
+	}
+	var allow map[string]bool
+	if len(rel.WithKeys) > 0 {
+		if len(rel.Keys) != 1 {
+			return nil, Constraints{}, fmt.Errorf("rel: WITH KEYS requires a single group column")
+		}
+		allow = make(map[string]bool, len(rel.WithKeys))
+		for _, k := range rel.WithKeys {
+			allow[k.Key()] = true
+		}
+	}
+	// Deduplicate: one representative row (the first) per key tuple.
+	seen := map[string]bool{}
+	out := table.New(in.Schema)
+	for _, row := range in.Rows {
+		key := ""
+		for _, j := range idx {
+			key += row[j].Key() + "\x00"
+		}
+		if allow != nil && !allow[row[idx[0]].Key()] {
+			continue
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Rows = append(out.Rows, row)
+	}
+	oc := cons.clone()
+	switch {
+	case len(rel.WithKeys) > 0:
+		oc.Size = math.Min(oc.Size, float64(len(rel.WithKeys)))
+	default:
+		// Dedup can only shrink the relation; without explicit keys
+		// the bound carries over unchanged.
+	}
+	oc.DedupKeys = append([]string(nil), rel.Keys...)
+	return out, oc, nil
+}
+
+func keysMatch(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, k := range a {
+		set[k] = true
+	}
+	for _, k := range b {
+		if !set[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func execJoin(rel *query.JoinExpr, env Env) (*table.Table, Constraints, error) {
+	lt, lc, err := execRel(rel.Left, env)
+	if err != nil {
+		return nil, Constraints{}, err
+	}
+	rt, rc, err := execRel(rel.Right, env)
+	if err != nil {
+		return nil, Constraints{}, err
+	}
+	// Fig. 10 restricts joins to inputs grouped on the join key(s):
+	// otherwise a single event's rows multiply through the join and
+	// the sensitivity bound no longer holds.
+	if !keysMatch(lc.DedupKeys, rel.On) || !keysMatch(rc.DedupKeys, rel.On) {
+		return nil, Constraints{}, fmt.Errorf("rel: JOIN inputs must be GROUP BY'd on the join key(s) %v", rel.On)
+	}
+	lIdx := make([]int, len(rel.On))
+	rIdx := make([]int, len(rel.On))
+	for i, k := range rel.On {
+		lIdx[i] = lt.Schema.Index(k)
+		rIdx[i] = rt.Schema.Index(k)
+		if lIdx[i] < 0 || rIdx[i] < 0 {
+			return nil, Constraints{}, fmt.Errorf("rel: JOIN column %q missing", k)
+		}
+	}
+	onSet := make(map[string]bool, len(rel.On))
+	for _, k := range rel.On {
+		onSet[k] = true
+	}
+	// Output schema: key columns, then left non-keys, then right
+	// non-keys (suffixed on clashes).
+	var cols []table.Column
+	for i, k := range rel.On {
+		cols = append(cols, table.Column{Name: k, Type: lt.Schema.Cols[lIdx[i]].Type})
+	}
+	type pick struct {
+		side int // 0 = left, 1 = right
+		col  int
+	}
+	var picks []pick
+	used := map[string]bool{}
+	for _, k := range rel.On {
+		used[k] = true
+	}
+	for i, c := range lt.Schema.Cols {
+		if onSet[c.Name] {
+			continue
+		}
+		name := c.Name
+		for used[name] {
+			name += "_l"
+		}
+		used[name] = true
+		cols = append(cols, table.Column{Name: name, Type: c.Type})
+		picks = append(picks, pick{0, i})
+	}
+	for i, c := range rt.Schema.Cols {
+		if onSet[c.Name] {
+			continue
+		}
+		name := c.Name
+		for used[name] {
+			name += "_r"
+		}
+		used[name] = true
+		cols = append(cols, table.Column{Name: name, Type: c.Type})
+		picks = append(picks, pick{1, i})
+	}
+	schema := table.Schema{Cols: cols}
+
+	keyOf := func(row table.Row, idx []int) string {
+		k := ""
+		for _, j := range idx {
+			k += row[j].Key() + "\x00"
+		}
+		return k
+	}
+	lByKey := map[string]table.Row{}
+	var order []string
+	for _, row := range lt.Rows {
+		k := keyOf(row, lIdx)
+		if _, ok := lByKey[k]; !ok {
+			lByKey[k] = row
+			order = append(order, k)
+		}
+	}
+	rByKey := map[string]table.Row{}
+	for _, row := range rt.Rows {
+		k := keyOf(row, rIdx)
+		if _, ok := rByKey[k]; !ok {
+			rByKey[k] = row
+		}
+	}
+	emit := func(out *table.Table, l, r table.Row) {
+		row := make(table.Row, 0, len(cols))
+		src := l
+		idx := lIdx
+		if src == nil {
+			src = r
+			idx = rIdx
+		}
+		for i := range rel.On {
+			row = append(row, src[idx[i]])
+		}
+		for pi, p := range picks {
+			switch {
+			case p.side == 0 && l != nil:
+				row = append(row, l[p.col])
+			case p.side == 1 && r != nil:
+				row = append(row, r[p.col])
+			default:
+				// Missing side of an outer join: type default.
+				if cols[len(rel.On)+pi].Type == table.DNumber {
+					row = append(row, table.N(0))
+				} else {
+					row = append(row, table.S(""))
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	out := table.New(schema)
+	if rel.Outer {
+		for _, k := range order {
+			emit(out, lByKey[k], rByKey[k]) // rByKey[k] may be nil
+		}
+		// Keys only on the right.
+		var rOrder []string
+		seen := map[string]bool{}
+		for _, row := range rt.Rows {
+			k := keyOf(row, rIdx)
+			if !seen[k] {
+				seen[k] = true
+				rOrder = append(rOrder, k)
+			}
+		}
+		for _, k := range rOrder {
+			if _, ok := lByKey[k]; !ok {
+				emit(out, nil, rByKey[k])
+			}
+		}
+	} else {
+		for _, k := range order {
+			if r, ok := rByKey[k]; ok {
+				emit(out, lByKey[k], r)
+			}
+		}
+	}
+
+	// Constraints: the additive JOIN rule (§6.3 "primed table"
+	// argument): a value need only appear in either input to appear in
+	// the intersection, so ΔP adds.
+	oc := Constraints{
+		Delta:   lc.Delta + rc.Delta,
+		Ranges:  map[string]Range{},
+		Trusted: map[string]bool{},
+		Buckets: map[string]BucketSpec{},
+		Metas:   append(append([]TableMeta(nil), lc.Metas...), rc.Metas...),
+	}
+	if rel.Outer {
+		oc.Size = lc.Size + rc.Size
+	} else {
+		oc.Size = math.Min(lc.Size, rc.Size)
+	}
+	for i, k := range rel.On {
+		lr, lok := lc.Ranges[k]
+		rr, rok := rc.Ranges[k]
+		if lok && rok {
+			oc.Ranges[k] = Range{math.Min(lr.Lo, rr.Lo), math.Max(lr.Hi, rr.Hi)}
+		}
+		oc.Trusted[k] = lc.Trusted[k] && rc.Trusted[k]
+		lb, lbok := lc.Buckets[k]
+		if rb, rbok := rc.Buckets[k]; lbok && rbok && lb == rb {
+			oc.Buckets[k] = lb
+		}
+		_ = i
+	}
+	ci := len(rel.On)
+	for _, p := range picks {
+		name := cols[ci].Name
+		src := lc
+		origin := lt.Schema.Cols[p.col].Name
+		if p.side == 1 {
+			src = rc
+			origin = rt.Schema.Cols[p.col].Name
+		}
+		if rg, ok := src.Ranges[origin]; ok {
+			if rel.Outer {
+				// A missing side contributes the 0 default.
+				rg = Range{math.Min(rg.Lo, 0), math.Max(rg.Hi, 0)}
+			}
+			oc.Ranges[name] = rg
+		}
+		if src.Trusted[origin] && !rel.Outer {
+			oc.Trusted[name] = true
+		}
+		ci++
+	}
+	oc.DedupKeys = append([]string(nil), rel.On...)
+	return out, oc, nil
+}
+
+func execUnion(rel *query.UnionExpr, env Env) (*table.Table, Constraints, error) {
+	lt, lc, err := execRel(rel.Left, env)
+	if err != nil {
+		return nil, Constraints{}, err
+	}
+	rt, rc, err := execRel(rel.Right, env)
+	if err != nil {
+		return nil, Constraints{}, err
+	}
+	// Column sets must match by name; the right side is re-ordered to
+	// the left schema.
+	remap := make([]int, len(lt.Schema.Cols))
+	for i, c := range lt.Schema.Cols {
+		j := rt.Schema.Index(c.Name)
+		if j < 0 {
+			return nil, Constraints{}, fmt.Errorf("rel: UNION column %q missing on right side", c.Name)
+		}
+		remap[i] = j
+	}
+	if len(rt.Schema.Cols) != len(lt.Schema.Cols) {
+		return nil, Constraints{}, fmt.Errorf("rel: UNION column counts differ (%d vs %d)", len(lt.Schema.Cols), len(rt.Schema.Cols))
+	}
+	out := table.New(lt.Schema)
+	out.Rows = append(out.Rows, lt.Rows...)
+	for _, row := range rt.Rows {
+		nr := make(table.Row, len(remap))
+		for i, j := range remap {
+			nr[i] = row[j].Coerce(lt.Schema.Cols[i].Type)
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	oc := Constraints{
+		Delta:   lc.Delta + rc.Delta,
+		Size:    lc.Size + rc.Size,
+		Ranges:  map[string]Range{},
+		Trusted: map[string]bool{},
+		Buckets: map[string]BucketSpec{},
+		Metas:   append(append([]TableMeta(nil), lc.Metas...), rc.Metas...),
+	}
+	oc.LiteralCols = map[string]string{}
+	oc.KeyDeltas = map[string]map[string]float64{}
+	for _, c := range lt.Schema.Cols {
+		lr, lok := lc.Ranges[c.Name]
+		rr, rok := rc.Ranges[c.Name]
+		if lok && rok {
+			oc.Ranges[c.Name] = Range{math.Min(lr.Lo, rr.Lo), math.Max(lr.Hi, rr.Hi)}
+		}
+		oc.Trusted[c.Name] = lc.Trusted[c.Name] && rc.Trusted[c.Name]
+		if lb, ok := lc.Buckets[c.Name]; ok {
+			if rb, ok2 := rc.Buckets[c.Name]; ok2 && lb == rb {
+				oc.Buckets[c.Name] = lb
+			}
+		}
+		// A column that is a (possibly different) trusted literal on
+		// each side partitions the union: rows with each value can
+		// only come from the branch(es) that carry it, so each key's
+		// event influence is that branch's Δ — Fig. 10's per-key
+		// ARGMAX sensitivity.
+		ld, lok2 := branchDeltas(lc, c.Name)
+		rd, rok2 := branchDeltas(rc, c.Name)
+		if lok2 && rok2 {
+			merged := make(map[string]float64, len(ld)+len(rd))
+			for k, v := range ld {
+				merged[k] = v
+			}
+			for k, v := range rd {
+				merged[k] += v
+			}
+			oc.KeyDeltas[c.Name] = merged
+		}
+		if lv, ok := lc.LiteralCols[c.Name]; ok {
+			if rv, ok2 := rc.LiteralCols[c.Name]; ok2 && rv == lv {
+				oc.LiteralCols[c.Name] = lv
+			}
+		}
+	}
+	return out, oc, nil
+}
+
+// branchDeltas returns the per-key ΔP partition of a relation on one
+// column: an existing KeyDeltas entry, or a single-key map when the
+// column is a trusted constant for the whole relation.
+func branchDeltas(c Constraints, col string) (map[string]float64, bool) {
+	if kd, ok := c.KeyDeltas[col]; ok && len(kd) > 0 {
+		return kd, true
+	}
+	if v, ok := c.LiteralCols[col]; ok {
+		return map[string]float64{v: c.Delta}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,274 @@
+package rel
+
+import (
+	"fmt"
+	"math"
+
+	"privid/internal/query"
+	"privid/internal/table"
+)
+
+// evalExpr evaluates a scalar expression against one row. Booleans are
+// represented as NUMBER 1/0.
+func evalExpr(e query.Expr, schema table.Schema, row table.Row) (table.Value, error) {
+	switch ex := e.(type) {
+	case *query.ColRef:
+		i := schema.Index(ex.Name)
+		if i < 0 {
+			return table.Value{}, fmt.Errorf("unknown column %q", ex.Name)
+		}
+		return row[i], nil
+	case *query.NumLit:
+		return table.N(ex.V), nil
+	case *query.StrLit:
+		return table.S(ex.V), nil
+	case *query.BinExpr:
+		return evalBin(ex, schema, row)
+	case *query.CallExpr:
+		return evalCall(ex, schema, row)
+	default:
+		return table.Value{}, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func evalBin(ex *query.BinExpr, schema table.Schema, row table.Row) (table.Value, error) {
+	l, err := evalExpr(ex.L, schema, row)
+	if err != nil {
+		return table.Value{}, err
+	}
+	r, err := evalExpr(ex.R, schema, row)
+	if err != nil {
+		return table.Value{}, err
+	}
+	b := func(v bool) table.Value {
+		if v {
+			return table.N(1)
+		}
+		return table.N(0)
+	}
+	switch ex.Op {
+	case "+":
+		return table.N(l.Num() + r.Num()), nil
+	case "-":
+		return table.N(l.Num() - r.Num()), nil
+	case "*":
+		return table.N(l.Num() * r.Num()), nil
+	case "/":
+		d := r.Num()
+		if d == 0 {
+			return table.N(0), nil // untrusted data: divide-by-zero yields 0, never a crash
+		}
+		return table.N(l.Num() / d), nil
+	case "=":
+		if l.Type() == table.DString || r.Type() == table.DString {
+			return b(l.Str() == r.Str()), nil
+		}
+		return b(l.Num() == r.Num()), nil
+	case "!=":
+		if l.Type() == table.DString || r.Type() == table.DString {
+			return b(l.Str() != r.Str()), nil
+		}
+		return b(l.Num() != r.Num()), nil
+	case "<":
+		return b(l.Num() < r.Num()), nil
+	case "<=":
+		return b(l.Num() <= r.Num()), nil
+	case ">":
+		return b(l.Num() > r.Num()), nil
+	case ">=":
+		return b(l.Num() >= r.Num()), nil
+	case "AND":
+		return b(l.Num() != 0 && r.Num() != 0), nil
+	case "OR":
+		return b(l.Num() != 0 || r.Num() != 0), nil
+	default:
+		return table.Value{}, fmt.Errorf("unknown operator %q", ex.Op)
+	}
+}
+
+func evalCall(ex *query.CallExpr, schema table.Schema, row table.Row) (table.Value, error) {
+	switch ex.Name {
+	case "range":
+		v, err := evalExpr(ex.Args[0], schema, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		lo := ex.Args[1].(*query.NumLit).V
+		hi := ex.Args[2].(*query.NumLit).V
+		x := v.Num()
+		// range() truncates values to the declared interval (§6.2).
+		if x < lo {
+			x = lo
+		}
+		if x > hi {
+			x = hi
+		}
+		return table.N(x), nil
+	case "hour":
+		v, err := evalExpr(ex.Args[0], schema, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		sec := int64(v.Num())
+		return table.N(float64((sec / 3600) % 24)), nil
+	case "day":
+		v, err := evalExpr(ex.Args[0], schema, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		sec := int64(v.Num())
+		return table.N(float64(sec / 86400)), nil
+	case "bin":
+		v, err := evalExpr(ex.Args[0], schema, row)
+		if err != nil {
+			return table.Value{}, err
+		}
+		w := ex.Args[1].(*query.NumLit).V
+		if w <= 0 {
+			return table.Value{}, fmt.Errorf("bin width must be positive")
+		}
+		return table.N(math.Floor(v.Num()/w) * w), nil
+	default:
+		return table.Value{}, fmt.Errorf("unknown function %q", ex.Name)
+	}
+}
+
+// exprName returns the output column name for a projected expression
+// without an alias: bare column references keep their name; everything
+// else gets a positional name.
+func exprName(e query.Expr, pos int) string {
+	switch ex := e.(type) {
+	case *query.ColRef:
+		return ex.Name
+	case *query.CallExpr:
+		if len(ex.Args) > 0 {
+			if c, ok := ex.Args[0].(*query.ColRef); ok {
+				return ex.Name + "_" + c.Name
+			}
+		}
+		return fmt.Sprintf("col%d", pos)
+	default:
+		return fmt.Sprintf("col%d", pos)
+	}
+}
+
+// exprType infers the output type of an expression.
+func exprType(e query.Expr, schema table.Schema) table.DType {
+	switch ex := e.(type) {
+	case *query.ColRef:
+		if i := schema.Index(ex.Name); i >= 0 {
+			return schema.Cols[i].Type
+		}
+		return table.DString
+	case *query.StrLit:
+		return table.DString
+	default:
+		return table.DNumber
+	}
+}
+
+// exprRange computes the static range constraint of an expression
+// given the input column ranges (Fig. 10's projection rules). ok=false
+// means unbound (∅).
+func exprRange(e query.Expr, ranges map[string]Range) (Range, bool) {
+	switch ex := e.(type) {
+	case *query.ColRef:
+		r, ok := ranges[ex.Name]
+		return r, ok
+	case *query.NumLit:
+		return Range{ex.V, ex.V}, true
+	case *query.StrLit:
+		return Range{}, false
+	case *query.CallExpr:
+		switch ex.Name {
+		case "range":
+			lo := ex.Args[1].(*query.NumLit).V
+			hi := ex.Args[2].(*query.NumLit).V
+			return Range{lo, hi}, true
+		case "hour":
+			return Range{0, 23}, true
+		default:
+			return Range{}, false
+		}
+	case *query.BinExpr:
+		l, lok := exprRange(ex.L, ranges)
+		r, rok := exprRange(ex.R, ranges)
+		switch ex.Op {
+		case "+":
+			if lok && rok {
+				return Range{l.Lo + r.Lo, l.Hi + r.Hi}, true
+			}
+		case "-":
+			if lok && rok {
+				return Range{l.Lo - r.Hi, l.Hi - r.Lo}, true
+			}
+		case "*":
+			if lok && rok {
+				cands := []float64{l.Lo * r.Lo, l.Lo * r.Hi, l.Hi * r.Lo, l.Hi * r.Hi}
+				lo, hi := cands[0], cands[0]
+				for _, c := range cands[1:] {
+					lo = math.Min(lo, c)
+					hi = math.Max(hi, c)
+				}
+				return Range{lo, hi}, true
+			}
+		case "=", "!=", "<", "<=", ">", ">=", "AND", "OR":
+			return Range{0, 1}, true
+		}
+		return Range{}, false
+	default:
+		return Range{}, false
+	}
+}
+
+// exprTrusted reports whether an expression's value is independent of
+// analyst-controlled data: literals, trusted columns, and stateless
+// functions over them.
+func exprTrusted(e query.Expr, trusted map[string]bool) bool {
+	switch ex := e.(type) {
+	case *query.ColRef:
+		return trusted[ex.Name]
+	case *query.NumLit, *query.StrLit:
+		return true
+	case *query.BinExpr:
+		return exprTrusted(ex.L, trusted) && exprTrusted(ex.R, trusted)
+	case *query.CallExpr:
+		for _, a := range ex.Args {
+			if !exprTrusted(a, trusted) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// exprBucket detects the bucket provenance of an expression: hour(c),
+// day(c) or bin(c, w) applied to a column that itself carries a bucket
+// spec (the chunk column starts with width = chunk seconds).
+func exprBucket(e query.Expr, buckets map[string]BucketSpec) (BucketSpec, bool) {
+	switch ex := e.(type) {
+	case *query.ColRef:
+		b, ok := buckets[ex.Name]
+		return b, ok
+	case *query.CallExpr:
+		if len(ex.Args) == 0 {
+			return BucketSpec{}, false
+		}
+		if _, ok := exprBucket(ex.Args[0], buckets); !ok {
+			return BucketSpec{}, false
+		}
+		switch ex.Name {
+		case "hour":
+			return BucketSpec{HourOfDay: true}, true
+		case "day":
+			return BucketSpec{WidthSec: 86400}, true
+		case "bin":
+			return BucketSpec{WidthSec: ex.Args[1].(*query.NumLit).V}, true
+		}
+		return BucketSpec{}, false
+	default:
+		return BucketSpec{}, false
+	}
+}

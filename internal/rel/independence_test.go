@@ -1,0 +1,114 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+
+	"privid/internal/table"
+)
+
+// TestSensitivityDataIndependence pins the property the whole threat
+// model rests on: the computed sensitivity of a query must depend only
+// on trusted metadata (chunking, max_rows, policy, the query text) —
+// NEVER on table contents, which the analyst's executable controls.
+// We run the same queries over many randomized table fillings and
+// require bit-identical sensitivities.
+func TestSensitivityDataIndependence(t *testing.T) {
+	queries := []string{
+		`SELECT COUNT(*) FROM tableA;`,
+		`SELECT AVG(range(speed, 30, 60)) FROM tableA;`,
+		`SELECT SUM(range(speed, 0, 100)) FROM (SELECT speed FROM tableA WHERE speed > 10);`,
+		`SELECT color, COUNT(plate) FROM (SELECT plate, color FROM tableA GROUP BY plate)
+		   GROUP BY color WITH KEYS ["RED", "WHITE"];`,
+		`SELECT VAR(range(speed, 0, 80)) FROM (SELECT speed FROM tableA LIMIT 50);`,
+	}
+	meta := testMeta("tableA", "camA")
+	base := float64(meta.Begin.Unix())
+
+	fill := func(seed int64, rows int) *table.Table {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := table.New(carSchema())
+		colors := []string{"RED", "WHITE", "SILVER", "BLACK", "zzz", ""}
+		for i := 0; i < rows; i++ {
+			tbl.Append(table.Row{
+				table.S(randPlate(rng)),
+				table.S(colors[rng.Intn(len(colors))]),
+				table.N(rng.Float64()*500 - 100), // wildly out-of-range values
+				table.N(base + float64(rng.Intn(500))),
+			})
+		}
+		return tbl
+	}
+
+	for qi, q := range queries {
+		st := parseSelect(t, q)
+		var want []float64
+		for seed := int64(0); seed < 8; seed++ {
+			env := Env{"tableA": &Instance{Meta: meta, Data: fill(seed, int(seed)*37%200)}}
+			rels, err := ExecuteSelect(st, env)
+			if err != nil {
+				t.Fatalf("query %d seed %d: %v", qi, seed, err)
+			}
+			sens := make([]float64, len(rels))
+			for i, r := range rels {
+				sens[i] = r.Sensitivity
+			}
+			if want == nil {
+				want = sens
+				continue
+			}
+			if len(sens) != len(want) {
+				t.Fatalf("query %d seed %d: release count changed with data: %d vs %d",
+					qi, seed, len(sens), len(want))
+			}
+			for i := range sens {
+				if sens[i] != want[i] {
+					t.Fatalf("query %d seed %d release %d: sensitivity %v != %v — sensitivity leaked data dependence",
+						qi, seed, i, sens[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func randPlate(rng *rand.Rand) string {
+	const letters = "ABCDEFGH"
+	b := make([]byte, 3)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// TestReleaseCountDataIndependence: the *number* of releases (and
+// their keys) must also be data-independent — that is why WITH KEYS
+// exists and why bucket enumeration covers empty buckets.
+func TestReleaseCountDataIndependence(t *testing.T) {
+	st := parseSelect(t, `SELECT COUNT(*) FROM (SELECT bin(chunk, 100) AS b FROM tableA) GROUP BY b;`)
+	meta := testMeta("tableA", "camA")
+	base := float64(meta.Begin.Unix())
+
+	// Empty table vs table with rows in only one bucket: same release
+	// keys either way.
+	empty := Env{"tableA": &Instance{Meta: meta, Data: table.New(carSchema())}}
+	one := table.New(carSchema())
+	one.Append(table.Row{table.S("AAA"), table.S("RED"), table.N(42), table.N(base + 250)})
+	withRow := Env{"tableA": &Instance{Meta: meta, Data: one}}
+
+	re, err := ExecuteSelect(st, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := ExecuteSelect(st, withRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re) != len(rw) {
+		t.Fatalf("release counts differ with data: %d vs %d", len(re), len(rw))
+	}
+	for i := range re {
+		if !re[i].Key.Equal(rw[i].Key) {
+			t.Errorf("release %d keys differ: %v vs %v", i, re[i].Key, rw[i].Key)
+		}
+	}
+}

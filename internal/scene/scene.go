@@ -1,0 +1,365 @@
+// Package scene implements Privid's synthetic video substrate: a
+// deterministic simulator of what a fixed public camera sees over time.
+//
+// The paper evaluates on three 12-hour YouTube streams (campus, highway,
+// urban) plus seven videos from BlazeIt and MIRIS. None of Privid's
+// mechanisms consume pixels — they consume *object visibility over
+// time* — so this package models a scene as a set of entities (people,
+// cars, ...) with timed appearances and continuous trajectories, plus
+// static scene elements (traffic lights, trees) that some queries read.
+// Profiles in profiles.go reproduce the statistical properties the
+// evaluation depends on: diurnal arrival rates, heavy-tailed dwell
+// times, spatially-concentrated lingerers, and multi-appearance
+// entities (K > 1).
+package scene
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"privid/internal/geom"
+	"privid/internal/vtime"
+)
+
+// Class is the semantic class of an entity or scene element.
+type Class int
+
+const (
+	// Person is a pedestrian (a private object).
+	Person Class = iota
+	// Car is a motor vehicle (a private object; the paper protects
+	// vehicles because they can identify their driver).
+	Car
+	// Bike is a bicycle (private).
+	Bike
+	// Boat is a watercraft (private; the Venice profiles use it).
+	Boat
+	// TrafficLight is a fixed signal head (not private).
+	TrafficLight
+	// Tree is fixed vegetation (not private).
+	Tree
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Person:
+		return "person"
+	case Car:
+		return "car"
+	case Bike:
+		return "bike"
+	case Boat:
+		return "boat"
+	case TrafficLight:
+		return "light"
+	case Tree:
+		return "tree"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Private reports whether the class identifies an individual and is
+// therefore covered by the video owner's privacy goal (§5.2: all
+// people and vehicles).
+func (c Class) Private() bool {
+	switch c {
+	case Person, Car, Bike, Boat:
+		return true
+	default:
+		return false
+	}
+}
+
+// Side identifies a frame edge; Q13 filters entities by the edges they
+// enter and exit through.
+type Side int
+
+const (
+	// SideNone marks trajectories that start or end inside the frame.
+	SideNone Side = iota
+	// SideNorth is the top edge of the frame.
+	SideNorth
+	// SideSouth is the bottom edge.
+	SideSouth
+	// SideEast is the right edge.
+	SideEast
+	// SideWest is the left edge.
+	SideWest
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	switch s {
+	case SideNorth:
+		return "north"
+	case SideSouth:
+		return "south"
+	case SideEast:
+		return "east"
+	case SideWest:
+		return "west"
+	default:
+		return "none"
+	}
+}
+
+// Appearance is one contiguous visible interval of an entity:
+// frames [Enter, Exit) with a continuous trajectory. An entity with
+// multiple appearances corresponds to the paper's K > 1 events (e.g.
+// individual x visible 30 s entering a building and 10 s leaving).
+type Appearance struct {
+	Enter, Exit int64 // frame indices, half-open
+	Traj        *Path
+}
+
+// Interval returns the appearance's frame interval.
+func (a Appearance) Interval() vtime.Interval {
+	return vtime.NewInterval(a.Enter, a.Exit)
+}
+
+// Entity is one distinct private object observed by the camera.
+type Entity struct {
+	ID          int
+	Class       Class
+	Color       string // vehicle color, e.g. "RED" (empty for people)
+	Plate       string // unique license plate (vehicles only)
+	EnterSide   Side   // edge the entity first enters through
+	ExitSide    Side   // edge the entity finally exits through
+	Appearances []Appearance
+}
+
+// TotalFrames returns the total number of frames across all
+// appearances (the entity's total "persistence").
+func (e *Entity) TotalFrames() int64 {
+	var n int64
+	for _, a := range e.Appearances {
+		n += a.Interval().Len()
+	}
+	return n
+}
+
+// MaxSegmentFrames returns the length of the entity's longest single
+// appearance — the quantity a (ρ, K) policy's ρ must bound.
+func (e *Entity) MaxSegmentFrames() int64 {
+	var m int64
+	for _, a := range e.Appearances {
+		if l := a.Interval().Len(); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Observation is what the camera sees of one object in one frame.
+type Observation struct {
+	EntityID int
+	Class    Class
+	Box      geom.Rect
+	Color    string
+	Plate    string
+	Speed    float64 // instantaneous ground speed, mph (vehicles)
+	State    string  // scene-element state: "red"/"green", "leaves"/"bare"
+}
+
+// Light is a traffic signal with a fixed red/green cycle.
+type Light struct {
+	Box      geom.Rect
+	RedSec   float64 // red phase duration, seconds
+	GreenSec float64 // green phase duration, seconds
+	PhaseSec float64 // offset of the cycle at frame 0, seconds
+}
+
+// StateAt returns "red" or "green" at the given frame.
+func (l Light) StateAt(frame int64, fps vtime.FrameRate) string {
+	cycle := l.RedSec + l.GreenSec
+	if cycle <= 0 {
+		return "red"
+	}
+	t := float64(frame)/float64(fps) + l.PhaseSec
+	pos := t - float64(int64(t/cycle))*cycle
+	if pos < 0 {
+		pos += cycle
+	}
+	if pos < l.RedSec {
+		return "red"
+	}
+	return "green"
+}
+
+// TreeSpec is a fixed tree; Leaves reports whether it has bloomed
+// (Q7–Q9 measure the bloomed fraction).
+type TreeSpec struct {
+	Box    geom.Rect
+	Leaves bool
+}
+
+// Scene is the full ground-truth world observed by one camera.
+type Scene struct {
+	Name   string
+	W, H   float64         // frame dimensions, pixels
+	FPS    vtime.FrameRate // frame rate
+	Start  time.Time       // wall-clock instant of frame 0
+	Frames int64           // total length in frames
+	Ents   []*Entity
+	Lights []Light
+	Trees  []TreeSpec
+
+	// bucketed index of appearances for fast per-frame queries
+	bucketLen int64
+	buckets   [][]appRef
+}
+
+type appRef struct {
+	ent *Entity
+	app int
+}
+
+// Clock returns the scene's wall-clock anchoring.
+func (s *Scene) Clock() vtime.Clock { return vtime.Clock{Start: s.Start, Rate: s.FPS} }
+
+// Bounds returns the full frame interval of the scene.
+func (s *Scene) Bounds() vtime.Interval { return vtime.NewInterval(0, s.Frames) }
+
+// Duration returns the wall-clock length of the scene.
+func (s *Scene) Duration() time.Duration { return s.FPS.Duration(s.Frames) }
+
+// BuildIndex (re)builds the time-bucketed appearance index. Generate
+// calls it automatically; call it again after mutating Ents.
+func (s *Scene) BuildIndex() {
+	const targetBuckets = 2048
+	s.bucketLen = s.Frames/targetBuckets + 1
+	n := int(s.Frames/s.bucketLen) + 1
+	s.buckets = make([][]appRef, n)
+	for _, e := range s.Ents {
+		for i, a := range e.Appearances {
+			b0 := a.Enter / s.bucketLen
+			b1 := (a.Exit - 1) / s.bucketLen
+			if b0 < 0 {
+				b0 = 0
+			}
+			for b := b0; b <= b1 && b < int64(n); b++ {
+				s.buckets[b] = append(s.buckets[b], appRef{e, i})
+			}
+		}
+	}
+}
+
+// At returns every observation visible at the given frame: private
+// entities currently on screen plus static scene elements (lights with
+// their current state, trees). Results are ordered by entity ID with
+// scene elements last, so output is deterministic.
+func (s *Scene) At(frame int64) []Observation {
+	var out []Observation
+	if frame >= 0 && frame < s.Frames && s.buckets != nil {
+		b := frame / s.bucketLen
+		if b < int64(len(s.buckets)) {
+			for _, ref := range s.buckets[b] {
+				a := ref.ent.Appearances[ref.app]
+				if frame < a.Enter || frame >= a.Exit {
+					continue
+				}
+				box := a.Traj.Box(frame)
+				out = append(out, Observation{
+					EntityID: ref.ent.ID,
+					Class:    ref.ent.Class,
+					Box:      box,
+					Color:    ref.ent.Color,
+					Plate:    ref.ent.Plate,
+					Speed:    a.Traj.Speed(frame, s.FPS),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EntityID < out[j].EntityID })
+	for _, l := range s.Lights {
+		out = append(out, Observation{
+			EntityID: -1,
+			Class:    TrafficLight,
+			Box:      l.Box,
+			State:    l.StateAt(frame, s.FPS),
+		})
+	}
+	for _, tr := range s.Trees {
+		state := "bare"
+		if tr.Leaves {
+			state = "leaves"
+		}
+		out = append(out, Observation{
+			EntityID: -1,
+			Class:    Tree,
+			Box:      tr.Box,
+			State:    state,
+		})
+	}
+	return out
+}
+
+// GroundTruth summarizes one appearance for evaluation: who, when, and
+// the trajectory. The paper's manual annotation records exactly this.
+type GroundTruth struct {
+	EntityID   int
+	Class      Class
+	Appearance int
+	Interval   vtime.Interval
+}
+
+// GroundTruthTracks returns every private appearance in the scene.
+func (s *Scene) GroundTruthTracks() []GroundTruth {
+	var out []GroundTruth
+	for _, e := range s.Ents {
+		if !e.Class.Private() {
+			continue
+		}
+		for i, a := range e.Appearances {
+			out = append(out, GroundTruth{
+				EntityID:   e.ID,
+				Class:      e.Class,
+				Appearance: i,
+				Interval:   a.Interval(),
+			})
+		}
+	}
+	return out
+}
+
+// MaxDurationSeconds returns the ground-truth maximum single-appearance
+// duration over all private entities in [iv], in seconds — the "Ground
+// Truth" column of Table 1. Appearances are clipped to the interval.
+func (s *Scene) MaxDurationSeconds(iv vtime.Interval) float64 {
+	var m int64
+	for _, e := range s.Ents {
+		if !e.Class.Private() {
+			continue
+		}
+		for _, a := range e.Appearances {
+			if l := a.Interval().Intersect(iv).Len(); l > m {
+				m = l
+			}
+		}
+	}
+	return s.FPS.Seconds(m)
+}
+
+// MaxK returns the maximum number of appearances of any single private
+// entity within [iv] — the K the policy must cover.
+func (s *Scene) MaxK(iv vtime.Interval) int {
+	m := 0
+	for _, e := range s.Ents {
+		if !e.Class.Private() {
+			continue
+		}
+		k := 0
+		for _, a := range e.Appearances {
+			if !a.Interval().Intersect(iv).Empty() {
+				k++
+			}
+		}
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}

@@ -1,0 +1,82 @@
+package scene
+
+import (
+	"privid/internal/geom"
+	"privid/internal/vtime"
+)
+
+// Waypoint is one timed position along a trajectory. T is the fraction
+// of the appearance's lifetime (0 at Enter, 1 at Exit).
+type Waypoint struct {
+	T float64
+	P geom.Point
+}
+
+// Path is a piecewise-linear trajectory through the frame. All motion
+// in the simulator — straight transits, crosswalk crossings, loiterers
+// that pause at a bench, and parked cars — is expressed as waypoints;
+// a parked car is simply two waypoints at the same position.
+type Path struct {
+	Start, End int64      // frame indices this path is defined over (== appearance)
+	Points     []Waypoint // sorted by T; must contain at least one point
+	W, H       float64    // object bounding-box size, pixels
+	// MPHPerPxSec converts on-screen speed (px/s) into ground speed
+	// (mph); it encodes the camera's scale calibration.
+	MPHPerPxSec float64
+}
+
+// NewPath returns a path over frames [start, end) through the given
+// waypoints.
+func NewPath(start, end int64, w, h, mphScale float64, pts ...Waypoint) *Path {
+	return &Path{Start: start, End: end, Points: pts, W: w, H: h, MPHPerPxSec: mphScale}
+}
+
+// pos returns the interpolated position at lifetime fraction t∈[0,1].
+func (p *Path) pos(t float64) geom.Point {
+	pts := p.Points
+	if len(pts) == 0 {
+		return geom.Point{}
+	}
+	if t <= pts[0].T {
+		return pts[0].P
+	}
+	for i := 1; i < len(pts); i++ {
+		if t <= pts[i].T {
+			span := pts[i].T - pts[i-1].T
+			if span <= 0 {
+				return pts[i].P
+			}
+			return pts[i-1].P.Lerp(pts[i].P, (t-pts[i-1].T)/span)
+		}
+	}
+	return pts[len(pts)-1].P
+}
+
+// frac converts a frame index to the lifetime fraction of this path.
+func (p *Path) frac(frame int64) float64 {
+	n := p.End - p.Start
+	if n <= 1 {
+		return 0
+	}
+	return float64(frame-p.Start) / float64(n-1)
+}
+
+// Box returns the object's bounding box at the given frame.
+func (p *Path) Box(frame int64) geom.Rect {
+	return geom.RectAround(p.pos(p.frac(frame)), p.W, p.H)
+}
+
+// Speed returns the instantaneous ground speed in mph at the given
+// frame, estimated over a one-frame step.
+func (p *Path) Speed(frame int64, fps vtime.FrameRate) float64 {
+	if p.End-p.Start <= 1 || fps <= 0 {
+		return 0
+	}
+	f2 := frame + 1
+	if f2 >= p.End {
+		f2 = frame
+		frame--
+	}
+	d := p.pos(p.frac(frame)).Dist(p.pos(p.frac(f2)))
+	return d * float64(fps) * p.MPHPerPxSec
+}

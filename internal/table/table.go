@@ -1,0 +1,302 @@
+// Package table implements Privid's intermediate tables: the untrusted
+// tabular output of the analyst's per-chunk processing executables
+// (§6.2). Values are typed STRING or NUMBER per the query grammar
+// (Appendix D); every table additionally carries the implicit "chunk"
+// column (the timestamp of the chunk's first frame) and, when spatial
+// splitting is used, the implicit "region" column. Privid trusts these
+// two columns (it creates them) and nothing else.
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DType is the data type of a column: STRING or NUMBER.
+type DType int
+
+const (
+	// DString is an arbitrary string column.
+	DString DType = iota
+	// DNumber is a floating-point numeric column.
+	DNumber
+)
+
+// String implements fmt.Stringer.
+func (d DType) String() string {
+	switch d {
+	case DString:
+		return "STRING"
+	case DNumber:
+		return "NUMBER"
+	default:
+		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// Value is a typed scalar. The zero Value is the empty STRING.
+type Value struct {
+	typ DType
+	s   string
+	n   float64
+}
+
+// S returns a STRING value.
+func S(s string) Value { return Value{typ: DString, s: s} }
+
+// N returns a NUMBER value.
+func N(n float64) Value { return Value{typ: DNumber, n: n} }
+
+// Type returns the value's data type.
+func (v Value) Type() DType { return v.typ }
+
+// Str returns the string content; NUMBER values are formatted.
+func (v Value) Str() string {
+	if v.typ == DNumber {
+		return strconv.FormatFloat(v.n, 'g', -1, 64)
+	}
+	return v.s
+}
+
+// Num returns the numeric content; STRING values parse if possible and
+// otherwise yield 0 (mirroring the paper's schema coercion: untrusted
+// output is forced into the declared schema).
+func (v Value) Num() float64 {
+	if v.typ == DNumber {
+		return v.n
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// Equal reports deep equality of two values (type and content).
+func (v Value) Equal(o Value) bool {
+	if v.typ != o.typ {
+		return false
+	}
+	if v.typ == DNumber {
+		return v.n == o.n || (math.IsNaN(v.n) && math.IsNaN(o.n))
+	}
+	return v.s == o.s
+}
+
+// Key returns a map-key-safe representation used for GROUP BY and JOIN
+// matching.
+func (v Value) Key() string {
+	if v.typ == DNumber {
+		return "n:" + strconv.FormatFloat(v.n, 'g', -1, 64)
+	}
+	return "s:" + v.s
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string { return v.Str() }
+
+// Coerce forces v to type t, converting content as needed.
+func (v Value) Coerce(t DType) Value {
+	if v.typ == t {
+		return v
+	}
+	if t == DNumber {
+		return N(v.Num())
+	}
+	return S(v.Str())
+}
+
+// Column describes one column of an intermediate-table schema. Default
+// is the value emitted when the analyst's executable crashes or exceeds
+// its TIMEOUT (Appendix D).
+type Column struct {
+	Name    string
+	Type    DType
+	Default Value
+}
+
+// Reserved implicit column names. Privid adds these to every table; the
+// analyst's schema may not redeclare them.
+const (
+	ChunkColumn  = "chunk"
+	RegionColumn = "region"
+)
+
+// Schema is an ordered set of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema validates and returns a schema from analyst-declared
+// columns. Duplicate or reserved names are rejected.
+func NewSchema(cols ...Column) (Schema, error) {
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		name := c.Name
+		if name == "" {
+			return Schema{}, fmt.Errorf("table: empty column name")
+		}
+		if name == ChunkColumn || name == RegionColumn {
+			return Schema{}, fmt.Errorf("table: column name %q is reserved", name)
+		}
+		if seen[name] {
+			return Schema{}, fmt.Errorf("table: duplicate column %q", name)
+		}
+		seen[name] = true
+	}
+	return Schema{Cols: append([]Column(nil), cols...)}, nil
+}
+
+// MustSchema is NewSchema that panics on error, for tests and fixtures.
+func MustSchema(cols ...Column) Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named column.
+func (s Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// DefaultRow returns the row of per-column default values, emitted when
+// a chunk's processing crashes or times out.
+func (s Schema) DefaultRow() Row {
+	r := make(Row, len(s.Cols))
+	for i, c := range s.Cols {
+		r[i] = c.Default.Coerce(c.Type)
+	}
+	return r
+}
+
+// WithImplicit returns a copy of the schema with the implicit chunk
+// column and, if region is true, the implicit region column appended.
+func (s Schema) WithImplicit(region bool) Schema {
+	cols := append([]Column(nil), s.Cols...)
+	cols = append(cols, Column{Name: ChunkColumn, Type: DNumber, Default: N(0)})
+	if region {
+		cols = append(cols, Column{Name: RegionColumn, Type: DString, Default: S("")})
+	}
+	return Schema{Cols: cols}
+}
+
+// Row is one record of an intermediate table, positionally matching a
+// Schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Conform coerces the untrusted raw row into the schema: extra columns
+// are dropped, missing columns are filled with defaults, and each value
+// is coerced to the declared type. This implements the paper's rule
+// that Privid "interprets the output of each chunk according to the
+// PROCESS schema and ignores extraneous columns".
+func (s Schema) Conform(raw Row) Row {
+	out := make(Row, len(s.Cols))
+	for i, c := range s.Cols {
+		if i < len(raw) {
+			out[i] = raw[i].Coerce(c.Type)
+		} else {
+			out[i] = c.Default.Coerce(c.Type)
+		}
+	}
+	return out
+}
+
+// Table is an ordered collection of rows with a schema. The contents
+// are untrusted (analyst-generated); only the schema shape and the
+// implicit columns are trusted.
+type Table struct {
+	Schema Schema
+	Rows   []Row
+}
+
+// New returns an empty table with the given schema.
+func New(s Schema) *Table { return &Table{Schema: s} }
+
+// Append adds rows to the table without validation. Callers that ingest
+// untrusted output must Conform rows first.
+func (t *Table) Append(rows ...Row) { t.Rows = append(t.Rows, rows...) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Col returns the values of the named column, or an error if absent.
+func (t *Table) Col(name string) ([]Value, error) {
+	i := t.Schema.Index(name)
+	if i < 0 {
+		return nil, fmt.Errorf("table: no column %q", name)
+	}
+	out := make([]Value, len(t.Rows))
+	for j, r := range t.Rows {
+		out[j] = r[i]
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := New(t.Schema)
+	out.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}
+
+// SortBy sorts rows by the named column ascending (numeric comparison
+// for NUMBER columns, lexicographic for STRING). Used by deterministic
+// tests and output printers; relational semantics never depend on order.
+func (t *Table) SortBy(name string) error {
+	i := t.Schema.Index(name)
+	if i < 0 {
+		return fmt.Errorf("table: no column %q", name)
+	}
+	numeric := t.Schema.Cols[i].Type == DNumber
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		if numeric {
+			return t.Rows[a][i].Num() < t.Rows[b][i].Num()
+		}
+		return t.Rows[a][i].Str() < t.Rows[b][i].Str()
+	})
+	return nil
+}
+
+// String renders a compact textual form for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Schema.Names(), "|"))
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.Str()
+		}
+		b.WriteString(strings.Join(parts, "|"))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

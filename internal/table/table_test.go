@@ -1,0 +1,195 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBasics(t *testing.T) {
+	s := S("hello")
+	if s.Type() != DString || s.Str() != "hello" {
+		t.Errorf("string value: %+v", s)
+	}
+	if s.Num() != 0 {
+		t.Errorf("non-numeric string Num=%v", s.Num())
+	}
+	n := N(3.5)
+	if n.Type() != DNumber || n.Num() != 3.5 || n.Str() != "3.5" {
+		t.Errorf("number value: %+v", n)
+	}
+	// Numeric strings parse.
+	if S("42.5").Num() != 42.5 || S(" 7 ").Num() != 7 {
+		t.Errorf("numeric string coercion failed")
+	}
+}
+
+func TestValueEqualAndKey(t *testing.T) {
+	if !S("a").Equal(S("a")) || S("a").Equal(S("b")) {
+		t.Errorf("string equality wrong")
+	}
+	if !N(1).Equal(N(1)) || N(1).Equal(N(2)) {
+		t.Errorf("number equality wrong")
+	}
+	if S("1").Equal(N(1)) {
+		t.Errorf("cross-type equality must be false")
+	}
+	if S("1").Key() == N(1).Key() {
+		t.Errorf("keys must be type-tagged")
+	}
+}
+
+func TestValueCoerce(t *testing.T) {
+	if v := S("42").Coerce(DNumber); v.Type() != DNumber || v.Num() != 42 {
+		t.Errorf("S->N coerce: %+v", v)
+	}
+	if v := N(42).Coerce(DString); v.Type() != DString || v.Str() != "42" {
+		t.Errorf("N->S coerce: %+v", v)
+	}
+	if v := N(1).Coerce(DNumber); v.Num() != 1 {
+		t.Errorf("identity coerce: %+v", v)
+	}
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "", Type: DNumber}); err == nil {
+		t.Errorf("empty name accepted")
+	}
+	if _, err := NewSchema(Column{Name: "chunk", Type: DNumber}); err == nil {
+		t.Errorf("reserved name accepted")
+	}
+	if _, err := NewSchema(Column{Name: "region", Type: DString}); err == nil {
+		t.Errorf("reserved name accepted")
+	}
+	if _, err := NewSchema(
+		Column{Name: "a", Type: DNumber},
+		Column{Name: "a", Type: DString},
+	); err == nil {
+		t.Errorf("duplicate accepted")
+	}
+	s, err := NewSchema(Column{Name: "a", Type: DNumber, Default: N(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Index("a") != 0 || s.Index("b") != -1 || !s.Has("a") {
+		t.Errorf("index/has wrong")
+	}
+}
+
+func TestDefaultRow(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "n", Type: DNumber, Default: N(-1)},
+		Column{Name: "s", Type: DString, Default: S("x")},
+		Column{Name: "coerced", Type: DNumber, Default: S("7")},
+	)
+	r := s.DefaultRow()
+	if r[0].Num() != -1 || r[1].Str() != "x" {
+		t.Errorf("defaults: %v", r)
+	}
+	if r[2].Type() != DNumber || r[2].Num() != 7 {
+		t.Errorf("default not coerced to column type: %v", r[2])
+	}
+}
+
+func TestWithImplicit(t *testing.T) {
+	s := MustSchema(Column{Name: "n", Type: DNumber})
+	si := s.WithImplicit(false)
+	if !si.Has(ChunkColumn) || si.Has(RegionColumn) {
+		t.Errorf("implicit columns: %v", si.Names())
+	}
+	sir := s.WithImplicit(true)
+	if !sir.Has(RegionColumn) {
+		t.Errorf("region column missing")
+	}
+	// Original schema untouched.
+	if s.Has(ChunkColumn) {
+		t.Errorf("WithImplicit mutated the original")
+	}
+}
+
+func TestConform(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "n", Type: DNumber, Default: N(0)},
+		Column{Name: "s", Type: DString, Default: S("d")},
+	)
+	// Extra column dropped, types coerced.
+	r := s.Conform(Row{S("9"), N(3), S("extra")})
+	if len(r) != 2 || r[0].Num() != 9 || r[1].Str() != "3" {
+		t.Errorf("conform: %v", r)
+	}
+	// Short row filled with defaults.
+	r2 := s.Conform(Row{N(1)})
+	if r2[1].Str() != "d" {
+		t.Errorf("short conform: %v", r2)
+	}
+	// Empty row is all defaults.
+	r3 := s.Conform(nil)
+	if r3[0].Num() != 0 || r3[1].Str() != "d" {
+		t.Errorf("empty conform: %v", r3)
+	}
+}
+
+func TestTableColAndSort(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "n", Type: DNumber},
+		Column{Name: "s", Type: DString},
+	)
+	tb := New(s)
+	tb.Append(Row{N(3), S("c")}, Row{N(1), S("a")}, Row{N(2), S("b")})
+	if tb.Len() != 3 {
+		t.Fatalf("len=%d", tb.Len())
+	}
+	col, err := tb.Col("n")
+	if err != nil || len(col) != 3 {
+		t.Fatalf("Col: %v %v", col, err)
+	}
+	if _, err := tb.Col("zzz"); err == nil {
+		t.Errorf("missing column accepted")
+	}
+	if err := tb.SortBy("n"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][0].Num() != 1 || tb.Rows[2][0].Num() != 3 {
+		t.Errorf("numeric sort wrong: %v", tb.Rows)
+	}
+	if err := tb.SortBy("s"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][1].Str() != "a" {
+		t.Errorf("string sort wrong")
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	s := MustSchema(Column{Name: "n", Type: DNumber})
+	tb := New(s)
+	tb.Append(Row{N(1)})
+	c := tb.Clone()
+	c.Rows[0][0] = N(99)
+	c.Append(Row{N(2)})
+	if tb.Rows[0][0].Num() != 1 || tb.Len() != 1 {
+		t.Errorf("clone not deep")
+	}
+}
+
+func TestConformProperties(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "a", Type: DNumber, Default: N(0)},
+		Column{Name: "b", Type: DString, Default: S("")},
+	)
+	// Conform always yields exactly the schema arity with declared
+	// types, whatever garbage comes in.
+	f := func(nums []float64, strs []string) bool {
+		var raw Row
+		for _, n := range nums {
+			raw = append(raw, N(n))
+		}
+		for _, x := range strs {
+			raw = append(raw, S(x))
+		}
+		out := s.Conform(raw)
+		return len(out) == 2 && out[0].Type() == DNumber && out[1].Type() == DString
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

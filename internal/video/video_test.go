@@ -1,0 +1,189 @@
+package video
+
+import (
+	"testing"
+	"time"
+
+	"privid/internal/geom"
+	"privid/internal/scene"
+	"privid/internal/vtime"
+)
+
+// testScene builds a tiny scene with two entities at known times and
+// positions.
+func testScene(t *testing.T) *scene.Scene {
+	t.Helper()
+	s := &scene.Scene{
+		Name: "t", W: 100, H: 100, FPS: 10,
+		Start: time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC), Frames: 1000,
+	}
+	mk := func(id int, enter, exit int64, x, y float64) *scene.Entity {
+		return &scene.Entity{
+			ID: id, Class: scene.Person,
+			Appearances: []scene.Appearance{{
+				Enter: enter, Exit: exit,
+				Traj: scene.NewPath(enter, exit, 10, 10, 1,
+					scene.Waypoint{T: 0, P: geom.Point{X: x, Y: y}},
+					scene.Waypoint{T: 1, P: geom.Point{X: x, Y: y}}),
+			}},
+		}
+	}
+	s.Ents = []*scene.Entity{
+		mk(0, 100, 200, 25, 25),
+		mk(1, 150, 400, 75, 75),
+	}
+	s.BuildIndex()
+	return s
+}
+
+func TestSceneSource(t *testing.T) {
+	s := testScene(t)
+	src := &SceneSource{Camera: "camA", Scene: s}
+	info := src.Info()
+	if info.Camera != "camA" || info.Frames != 1000 || info.FPS != 10 {
+		t.Fatalf("bad info: %+v", info)
+	}
+	if got := len(src.Frame(50).Objects); got != 0 {
+		t.Errorf("frame 50 has %d objects, want 0", got)
+	}
+	if got := len(src.Frame(160).Objects); got != 2 {
+		t.Errorf("frame 160 has %d objects, want 2", got)
+	}
+}
+
+type rectOccluder struct{ r geom.Rect }
+
+func (o rectOccluder) Visible(box geom.Rect) bool {
+	return 1-box.CoverFraction(o.r) >= 0.4
+}
+
+func TestMaskedSource(t *testing.T) {
+	s := testScene(t)
+	src := &SceneSource{Camera: "camA", Scene: s}
+	// Occlude the top-left quadrant: entity 0 (at 25,25) disappears.
+	m := Masked(src, rectOccluder{geom.Rect{X0: 0, Y0: 0, X1: 50, Y1: 50}})
+	objs := m.Frame(160).Objects
+	if len(objs) != 1 || objs[0].EntityID != 1 {
+		t.Fatalf("masked frame: %+v", objs)
+	}
+	// A nil occluder is a pass-through.
+	if got := Masked(src, nil); got != src {
+		t.Errorf("Masked(nil) should return the source")
+	}
+}
+
+func TestCroppedSource(t *testing.T) {
+	s := testScene(t)
+	src := &SceneSource{Camera: "camA", Scene: s}
+	c := Cropped(src, geom.Rect{X0: 50, Y0: 50, X1: 100, Y1: 100})
+	objs := c.Frame(160).Objects
+	if len(objs) != 1 || objs[0].EntityID != 1 {
+		t.Fatalf("cropped frame: %+v", objs)
+	}
+}
+
+func TestSplitChunking(t *testing.T) {
+	s := testScene(t)
+	src := &SceneSource{Camera: "camA", Scene: s}
+	sp := Split{Source: src, Interval: vtime.NewInterval(0, 1000), ChunkFrames: 100, StrideFrames: 0}
+	if got := sp.NumChunks(); got != 10 {
+		t.Fatalf("NumChunks=%d, want 10", got)
+	}
+	c0 := sp.ChunkAt(0)
+	if c0.Interval != vtime.NewInterval(0, 100) || c0.Len() != 100 {
+		t.Errorf("chunk 0 = %v", c0.Interval)
+	}
+	c9 := sp.ChunkAt(9)
+	if c9.Interval != vtime.NewInterval(900, 1000) {
+		t.Errorf("chunk 9 = %v", c9.Interval)
+	}
+	if c0.Camera != "camA" || c0.FPS != 10 {
+		t.Errorf("chunk metadata wrong: %+v", c0)
+	}
+	// Chunk frame access is relative to the chunk.
+	c1 := sp.ChunkAt(1)
+	f := c1.Frame(60) // absolute frame 160
+	if len(f.Objects) != 2 || f.Index != 160 {
+		t.Errorf("chunk frame access wrong: idx=%d objs=%d", f.Index, len(f.Objects))
+	}
+	if got := c0.Seconds(); got != 10 {
+		t.Errorf("chunk seconds=%v", got)
+	}
+}
+
+func TestSplitWithStride(t *testing.T) {
+	s := testScene(t)
+	src := &SceneSource{Camera: "camA", Scene: s}
+	// chunk=100, stride=100: chunks start every 200 frames.
+	sp := Split{Source: src, Interval: vtime.NewInterval(0, 1000), ChunkFrames: 100, StrideFrames: 100}
+	if got := sp.NumChunks(); got != 5 {
+		t.Fatalf("NumChunks=%d, want 5", got)
+	}
+	if c := sp.ChunkAt(1); c.Interval != vtime.NewInterval(200, 300) {
+		t.Errorf("chunk 1 = %v", c.Interval)
+	}
+	// Clipping: window not divisible by period.
+	sp2 := Split{Source: src, Interval: vtime.NewInterval(0, 950), ChunkFrames: 100, StrideFrames: 0}
+	if got := sp2.NumChunks(); got != 10 {
+		t.Fatalf("NumChunks=%d, want 10", got)
+	}
+	if c := sp2.ChunkAt(9); c.Interval != vtime.NewInterval(900, 950) {
+		t.Errorf("final clipped chunk = %v", c.Interval)
+	}
+}
+
+type sparseSrc struct {
+	*SceneSource
+	active []vtime.Interval
+}
+
+func (s *sparseSrc) ActiveIntervals(iv vtime.Interval) []vtime.Interval {
+	var out []vtime.Interval
+	for _, a := range s.active {
+		if x := a.Intersect(iv); !x.Empty() {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestActiveChunksSparse(t *testing.T) {
+	s := testScene(t)
+	base := &SceneSource{Camera: "camA", Scene: s}
+	src := &sparseSrc{SceneSource: base, active: []vtime.Interval{{Start: 100, End: 400}}}
+	sp := Split{Source: src, Interval: vtime.NewInterval(0, 1000), ChunkFrames: 100, StrideFrames: 0}
+	got := sp.ActiveChunks()
+	// Frames 100-399 → chunks 1, 2, 3.
+	want := []int64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ActiveChunks=%v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ActiveChunks=%v, want %v", got, want)
+		}
+	}
+	// A dense source processes everything.
+	dense := Split{Source: base, Interval: vtime.NewInterval(0, 1000), ChunkFrames: 100}
+	if got := dense.ActiveChunks(); len(got) != 10 {
+		t.Errorf("dense ActiveChunks len=%d, want 10", len(got))
+	}
+}
+
+func TestActiveChunksBoundary(t *testing.T) {
+	s := testScene(t)
+	base := &SceneSource{Camera: "camA", Scene: s}
+	// Activity touching exactly the last frame of chunk 0.
+	src := &sparseSrc{SceneSource: base, active: []vtime.Interval{{Start: 99, End: 100}}}
+	sp := Split{Source: src, Interval: vtime.NewInterval(0, 1000), ChunkFrames: 100, StrideFrames: 0}
+	got := sp.ActiveChunks()
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("boundary ActiveChunks=%v, want [0]", got)
+	}
+	// No activity at all.
+	src2 := &sparseSrc{SceneSource: base}
+	sp2 := Split{Source: src2, Interval: vtime.NewInterval(0, 1000), ChunkFrames: 100}
+	if got := sp2.ActiveChunks(); len(got) != 0 {
+		t.Fatalf("empty ActiveChunks=%v", got)
+	}
+}

@@ -1,0 +1,172 @@
+// Package vtime provides frame/time arithmetic for video streams.
+//
+// Privid measures privacy policies (ρ) and chunk sizes in wall-clock
+// seconds but executes over discrete frames. This package anchors a
+// stream of frames at a wall-clock start time and converts between the
+// two domains, and provides half-open frame intervals used throughout
+// the system (chunking, budget accounting, event bounds).
+package vtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// FrameRate is a video frame rate in frames per second. Privid requires
+// chunk durations and strides to correspond to an integer number of
+// frames (Appendix D), so rates are integral.
+type FrameRate int
+
+// Frames returns the exact number of frames spanned by d, or an error if
+// d does not correspond to an integer frame count at rate r (the paper
+// rejects such durations: "0.25 seconds is not permitted" at 30 fps).
+func (r FrameRate) Frames(d time.Duration) (int64, error) {
+	if r <= 0 {
+		return 0, fmt.Errorf("vtime: non-positive frame rate %d", r)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("vtime: negative duration %v", d)
+	}
+	// A frame boundary may not land on a whole nanosecond (e.g. one
+	// frame at 24 fps), so tolerate sub-nanosecond rounding: accept d
+	// if it is within one nanosecond of an exact frame count.
+	total := d.Nanoseconds() * int64(r)
+	n := (total + int64(time.Second)/2) / int64(time.Second)
+	if diff := total - n*int64(time.Second); diff >= int64(r) || diff <= -int64(r) {
+		return 0, fmt.Errorf("vtime: duration %v is not an integer number of frames at %d fps", d, r)
+	}
+	return n, nil
+}
+
+// FramesCeil returns the minimum whole number of frames that covers d.
+// It is used for policy margins (ρ) where rounding up is the
+// conservative direction.
+func (r FrameRate) FramesCeil(d time.Duration) int64 {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	total := d.Nanoseconds() * int64(r)
+	n := total / int64(time.Second)
+	if total%int64(time.Second) != 0 {
+		n++
+	}
+	return n
+}
+
+// Duration returns the wall-clock duration of n frames at rate r.
+func (r FrameRate) Duration(n int64) time.Duration {
+	if r <= 0 {
+		return 0
+	}
+	return time.Duration(n * int64(time.Second) / int64(r))
+}
+
+// Seconds returns the duration of n frames in seconds.
+func (r FrameRate) Seconds(n int64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return float64(n) / float64(r)
+}
+
+// Clock anchors frame index 0 at a wall-clock instant.
+type Clock struct {
+	Start time.Time
+	Rate  FrameRate
+}
+
+// FrameAt returns the index of the frame covering instant t. Instants
+// before Start map to negative indices.
+func (c Clock) FrameAt(t time.Time) int64 {
+	d := t.Sub(c.Start)
+	n := d.Nanoseconds() * int64(c.Rate) / int64(time.Second)
+	if d < 0 && (d.Nanoseconds()*int64(c.Rate))%int64(time.Second) != 0 {
+		n-- // floor toward -inf for pre-start instants
+	}
+	return n
+}
+
+// TimeOf returns the wall-clock instant of frame index i.
+func (c Clock) TimeOf(i int64) time.Time {
+	return c.Start.Add(c.Rate.Duration(i))
+}
+
+// Interval is a half-open range of frame indices [Start, End).
+type Interval struct {
+	Start, End int64
+}
+
+// NewInterval returns the interval [start, end), normalizing empty or
+// inverted ranges to the canonical empty interval at start.
+func NewInterval(start, end int64) Interval {
+	if end < start {
+		end = start
+	}
+	return Interval{Start: start, End: end}
+}
+
+// Len returns the number of frames in the interval.
+func (iv Interval) Len() int64 {
+	if iv.End <= iv.Start {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Empty reports whether the interval contains no frames.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Contains reports whether frame i lies in the interval.
+func (iv Interval) Contains(i int64) bool { return i >= iv.Start && i < iv.End }
+
+// Overlaps reports whether the two intervals share at least one frame.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	s, e := max64(iv.Start, o.Start), min64(iv.End, o.End)
+	return NewInterval(s, e)
+}
+
+// Union returns the smallest interval covering both. The inputs need not
+// overlap; any gap between them is included.
+func (iv Interval) Union(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	return Interval{Start: min64(iv.Start, o.Start), End: max64(iv.End, o.End)}
+}
+
+// Expand widens the interval by margin frames on each side. Algorithm 1
+// admits a query over [a, b] only if budget remains on [a−ρ, b+ρ]; Expand
+// computes that admission interval.
+func (iv Interval) Expand(margin int64) Interval {
+	if iv.Empty() {
+		return iv
+	}
+	return Interval{Start: iv.Start - margin, End: iv.End + margin}
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d,%d)", iv.Start, iv.End)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFramesExact(t *testing.T) {
+	tests := []struct {
+		rate FrameRate
+		d    time.Duration
+		want int64
+		ok   bool
+	}{
+		{30, time.Second, 30, true},
+		{30, 500 * time.Millisecond, 15, true},
+		{30, 250 * time.Millisecond, 0, false}, // 7.5 frames — rejected per Appendix D
+		{10, 5 * time.Second, 50, true},
+		{1, time.Hour, 3600, true},
+		{30, 0, 0, true},
+		{0, time.Second, 0, false},
+		{30, -time.Second, 0, false},
+	}
+	for _, tt := range tests {
+		got, err := tt.rate.Frames(tt.d)
+		if (err == nil) != tt.ok {
+			t.Errorf("Frames(%v@%dfps) err=%v, want ok=%v", tt.d, tt.rate, err, tt.ok)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("Frames(%v@%dfps)=%d, want %d", tt.d, tt.rate, got, tt.want)
+		}
+	}
+}
+
+func TestFramesCeil(t *testing.T) {
+	if got := FrameRate(30).FramesCeil(250 * time.Millisecond); got != 8 {
+		t.Errorf("FramesCeil(250ms@30fps)=%d, want 8", got)
+	}
+	if got := FrameRate(30).FramesCeil(time.Second); got != 30 {
+		t.Errorf("FramesCeil(1s@30fps)=%d, want 30", got)
+	}
+	if got := FrameRate(30).FramesCeil(0); got != 0 {
+		t.Errorf("FramesCeil(0)=%d, want 0", got)
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	for _, r := range []FrameRate{1, 10, 24, 30, 60} {
+		for _, n := range []int64{0, 1, 7, 30, 12345} {
+			d := r.Duration(n)
+			got, err := r.Frames(d)
+			if err != nil {
+				t.Fatalf("Frames(Duration(%d)@%d): %v", n, r, err)
+			}
+			if got != n {
+				t.Errorf("round trip %d@%dfps -> %d", n, r, got)
+			}
+		}
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := FrameRate(30).Seconds(90); got != 3 {
+		t.Errorf("Seconds(90@30)=%v, want 3", got)
+	}
+	if got := FrameRate(0).Seconds(90); got != 0 {
+		t.Errorf("Seconds at 0 fps = %v, want 0", got)
+	}
+}
+
+func TestClock(t *testing.T) {
+	start := time.Date(2020, 12, 1, 0, 0, 0, 0, time.UTC)
+	c := Clock{Start: start, Rate: 30}
+	if got := c.FrameAt(start); got != 0 {
+		t.Errorf("FrameAt(start)=%d", got)
+	}
+	if got := c.FrameAt(start.Add(time.Second)); got != 30 {
+		t.Errorf("FrameAt(start+1s)=%d, want 30", got)
+	}
+	if got := c.FrameAt(start.Add(-time.Second)); got != -30 {
+		t.Errorf("FrameAt(start-1s)=%d, want -30", got)
+	}
+	// Mid-frame instants floor.
+	if got := c.FrameAt(start.Add(40 * time.Millisecond)); got != 1 {
+		t.Errorf("FrameAt(start+40ms)=%d, want 1", got)
+	}
+	if got := c.FrameAt(start.Add(-40 * time.Millisecond)); got != -2 {
+		t.Errorf("FrameAt(start-40ms)=%d, want -2 (floor)", got)
+	}
+	if got := c.TimeOf(60); !got.Equal(start.Add(2 * time.Second)) {
+		t.Errorf("TimeOf(60)=%v", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(10, 20)
+	if iv.Len() != 10 || iv.Empty() {
+		t.Fatalf("bad interval %v", iv)
+	}
+	if !iv.Contains(10) || iv.Contains(20) || iv.Contains(9) {
+		t.Errorf("Contains is wrong for %v", iv)
+	}
+	if NewInterval(5, 5).Len() != 0 || !NewInterval(5, 3).Empty() {
+		t.Errorf("empty normalization failed")
+	}
+}
+
+func TestIntervalSetOps(t *testing.T) {
+	a := NewInterval(0, 10)
+	b := NewInterval(5, 15)
+	c := NewInterval(20, 30)
+	if !a.Overlaps(b) || a.Overlaps(c) {
+		t.Errorf("Overlaps wrong")
+	}
+	if got := a.Intersect(b); got != NewInterval(5, 10) {
+		t.Errorf("Intersect=%v", got)
+	}
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("disjoint Intersect=%v, want empty", got)
+	}
+	if got := a.Union(c); got != NewInterval(0, 30) {
+		t.Errorf("Union=%v", got)
+	}
+	if got := a.Expand(3); got != NewInterval(-3, 13) {
+		t.Errorf("Expand=%v", got)
+	}
+	var empty Interval
+	if got := empty.Union(a); got != a {
+		t.Errorf("empty.Union=%v", got)
+	}
+	if got := empty.Expand(5); !got.Empty() {
+		t.Errorf("empty.Expand=%v, want empty", got)
+	}
+}
+
+func TestIntervalProperties(t *testing.T) {
+	// Intersection is commutative and contained in both operands.
+	f := func(a0, a1, b0, b1 int16) bool {
+		a := NewInterval(int64(a0), int64(a1))
+		b := NewInterval(int64(b0), int64(b1))
+		x := a.Intersect(b)
+		y := b.Intersect(a)
+		if x.Len() != y.Len() {
+			return false
+		}
+		if x.Empty() {
+			return true
+		}
+		return x.Start >= a.Start && x.End <= a.End && x.Start >= b.Start && x.End <= b.End
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Union covers both operands.
+	g := func(a0, a1, b0, b1 int16) bool {
+		a := NewInterval(int64(a0), int64(a1))
+		b := NewInterval(int64(b0), int64(b1))
+		u := a.Union(b)
+		return u.Len() >= a.Len() && u.Len() >= b.Len()
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
