@@ -9,6 +9,7 @@
 package privid_test
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -121,6 +122,94 @@ func BenchmarkSceneFrame(b *testing.B) {
 		src.Frame(int64(i) % s.Frames)
 	}
 }
+
+// Chunk-result cache benchmarks: the same repeated-window query, cold
+// (every chunk runs the sandboxed executable) versus warm (every chunk
+// is a cache hit). The warm/cold ns-per-op ratio is the serving-layer
+// speedup for repeated or overlapping analyst windows; "sandbox-execs"
+// reports how many chunks actually reached the executable per query.
+
+// newCacheBenchEngine registers a shared 10-minute campus source with a
+// deliberately frame-scanning executable (the realistic cost profile:
+// PROCESS dominates). execs counts actual executable invocations, the
+// ground truth for how much sandbox work each variant did.
+func newCacheBenchEngine(b *testing.B, src privid.Source, cacheBytes int64, execs *atomic.Int64) *privid.Engine {
+	b.Helper()
+	engine := privid.New(privid.Options{Seed: 1, ChunkCacheBytes: cacheBytes})
+	if err := engine.RegisterCamera(privid.CameraConfig{
+		Name: "campus", Source: src,
+		Policy:  privid.Policy{Rho: time.Minute, K: 2},
+		Epsilon: 1e9,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.Registry().Register("scanner", func(chunk *privid.Chunk) []privid.Row {
+		execs.Add(1)
+		// Scan every frame of the chunk, like real per-chunk CV would.
+		seen := map[int]bool{}
+		for f := int64(0); f < chunk.Len(); f++ {
+			for _, o := range chunk.Frame(f).Objects {
+				seen[o.EntityID] = true
+			}
+		}
+		return []privid.Row{{privid.N(float64(len(seen)))}}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return engine
+}
+
+const cacheBenchQuery = `
+SPLIT campus BEGIN 3-15-2021/6:00am END 3-15-2021/6:10am
+  BY TIME 10sec STRIDE 0sec INTO c;
+PROCESS c USING scanner TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT AVG(range(n, 0, 30)) FROM t CONSUMING 0.0001;`
+
+func runCacheBench(b *testing.B, warm bool) {
+	src := privid.NewSceneCamera("campus", privid.CampusProfile(), 1, 10*time.Minute)
+	prog, err := privid.Parse(cacheBenchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var execs atomic.Int64
+	// The cold baseline disables the cache outright so it measures
+	// pure no-reuse cost, not miss-path bookkeeping.
+	cacheBytes := int64(-1)
+	if warm {
+		cacheBytes = 0 // default-sized cache
+	}
+	engine := newCacheBenchEngine(b, src, cacheBytes, &execs)
+	if warm {
+		if _, err := engine.Execute(prog); err != nil { // populate the cache
+			b.Fatal(err)
+		}
+	}
+	// Deltas over the timed region only: the warm-up query's misses
+	// must not dilute the steady-state numbers.
+	execsBefore := execs.Load()
+	hitsBefore := engine.CacheStats().Hits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Execute(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ran := float64(execs.Load() - execsBefore)
+	b.ReportMetric(ran/float64(b.N), "sandbox-execs/op")
+	if warm {
+		hits := float64(engine.CacheStats().Hits - hitsBefore)
+		b.ReportMetric(hits/(hits+ran), "hit-rate")
+	}
+}
+
+// BenchmarkChunkCache_Cold is the no-reuse baseline (cache disabled):
+// every chunk of every query runs the executable.
+func BenchmarkChunkCache_Cold(b *testing.B) { runCacheBench(b, false) }
+
+// BenchmarkChunkCache_Warm repeats the identical window against a
+// populated cache: zero sandbox executions per query.
+func BenchmarkChunkCache_Warm(b *testing.B) { runCacheBench(b, true) }
 
 // BenchmarkEndToEndQuery measures a complete small query: split,
 // sandboxed processing, aggregation, sensitivity, admission, noise.

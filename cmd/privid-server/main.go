@@ -1,0 +1,285 @@
+// Command privid-server boots a Privid engine from a JSON deployment
+// config and serves it over HTTP: analysts submit queries
+// asynchronously (submit → job ID → poll), the owner inspects cameras,
+// remaining budgets and the audit log, and repeated or overlapping
+// query windows are answered out of the engine's chunk-result cache.
+//
+// Usage:
+//
+//	privid-server [-config deploy.json] [-addr :8080]
+//	privid-server -dump-config          # print the default deployment
+//
+// Without -config it serves the default synthetic deployment (the
+// paper's campus, highway and urban cameras, 30 minutes each).
+//
+// Each camera entry names a built-in scene profile; its policy is the
+// (ρ, K) bound of §5 and epsilon the per-frame budget εC of §6.4.
+// Setting mask_factors additionally publishes an Algorithm 2 mask
+// ladder for the camera, and the profile's region schemes are always
+// installed. The server registers generic analyst executables that
+// work on any camera:
+//
+//	headcount       — one row with the object count at the chunk's
+//	                  middle frame
+//	count_entrants  — one row per private object entering during the
+//	                  chunk (the §6.2 counting pattern)
+//	max_speed       — one row with the chunk's maximum object speed
+//
+// API summary (JSON): POST /v1/queries, GET /v1/queries/{id}[/result],
+// GET /v1/cameras, GET /v1/cameras/{name}/budget, GET /v1/executables,
+// GET /v1/audit, GET /v1/stats, GET /v1/healthz.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"privid"
+)
+
+// cameraSpec is one camera of the deployment config.
+type cameraSpec struct {
+	// Name is the camera name queries reference in SPLIT.
+	Name string `json:"name"`
+	// Profile names a built-in scene profile (campus, highway, urban,
+	// grandcanal, venicerialto, taipei, shibuya, beach, warsaw, uav).
+	Profile string `json:"profile"`
+	// Seed drives deterministic scene generation.
+	Seed int64 `json:"seed"`
+	// Minutes is the stream length.
+	Minutes float64 `json:"minutes"`
+	// RhoSeconds and K are the (ρ, K) privacy policy.
+	RhoSeconds float64 `json:"rho_seconds"`
+	K          int     `json:"k"`
+	// Epsilon is the per-frame privacy budget εC.
+	Epsilon float64 `json:"epsilon"`
+	// MaskFactors optionally publishes an Algorithm 2 mask ladder with
+	// these persistence-reduction targets (1 = unmasked).
+	MaskFactors []float64 `json:"mask_factors,omitempty"`
+}
+
+// config is the deployment file privid-server boots from.
+type config struct {
+	// Addr is the listen address.
+	Addr string `json:"addr"`
+	// Seed drives the engine's noise sampler.
+	Seed int64 `json:"seed"`
+	// DefaultQueryEpsilon is the per-query budget when a SELECT has no
+	// CONSUMING directive.
+	DefaultQueryEpsilon float64 `json:"default_query_epsilon"`
+	// Parallelism bounds concurrent chunk processing (0 = all cores).
+	Parallelism int `json:"parallelism"`
+	// ChunkCacheBytes bounds the chunk-result cache (0 = 64 MiB
+	// default, negative disables).
+	ChunkCacheBytes int64 `json:"chunk_cache_bytes"`
+	// Workers, PerAnalystInFlight, QueueDepth and MaxFinishedJobs
+	// configure the scheduler (0 = defaults).
+	Workers            int `json:"workers"`
+	PerAnalystInFlight int `json:"per_analyst_in_flight"`
+	QueueDepth         int `json:"queue_depth"`
+	MaxFinishedJobs    int `json:"max_finished_jobs"`
+	// Cameras lists the deployment's cameras.
+	Cameras []cameraSpec `json:"cameras"`
+}
+
+// defaultConfig is the paper's three-camera deployment at 30 minutes
+// per stream.
+func defaultConfig() config {
+	cams := make([]cameraSpec, 0, 3)
+	for _, name := range []string{"campus", "highway", "urban"} {
+		cams = append(cams, cameraSpec{
+			Name: name, Profile: name, Seed: 1, Minutes: 30,
+			RhoSeconds: 60, K: 2, Epsilon: 10,
+		})
+	}
+	return config{Addr: ":8080", Seed: 1, Cameras: cams}
+}
+
+func loadConfig(path string) (config, error) {
+	if path == "" {
+		return defaultConfig(), nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return config{}, err
+	}
+	cfg := config{Addr: ":8080"}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return config{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(cfg.Cameras) == 0 {
+		return config{}, fmt.Errorf("%s: no cameras configured", path)
+	}
+	return cfg, nil
+}
+
+func buildEngine(cfg config) (*privid.Engine, error) {
+	engine := privid.New(privid.Options{
+		Seed:                cfg.Seed,
+		DefaultQueryEpsilon: cfg.DefaultQueryEpsilon,
+		Parallelism:         cfg.Parallelism,
+		ChunkCacheBytes:     cfg.ChunkCacheBytes,
+	})
+	profiles := privid.AllProfiles()
+	for _, spec := range cfg.Cameras {
+		p, ok := profiles[spec.Profile]
+		if !ok {
+			return nil, fmt.Errorf("camera %q: unknown profile %q", spec.Name, spec.Profile)
+		}
+		if spec.Minutes <= 0 {
+			return nil, fmt.Errorf("camera %q: minutes must be positive", spec.Name)
+		}
+		dur := time.Duration(spec.Minutes * float64(time.Minute))
+		cc := privid.CameraConfig{
+			Name:    spec.Name,
+			Source:  privid.NewSceneCamera(spec.Name, p, spec.Seed, dur),
+			Policy:  privid.Policy{Rho: time.Duration(spec.RhoSeconds * float64(time.Second)), K: spec.K},
+			Epsilon: spec.Epsilon,
+			Schemes: privid.SchemesFromProfile(p),
+		}
+		if len(spec.MaskFactors) > 0 {
+			s := privid.GenerateScene(p, spec.Seed, dur)
+			cc.Policies = privid.BuildMaskPolicyMap(spec.Name, s, spec.K, spec.MaskFactors)
+		}
+		if err := engine.RegisterCamera(cc); err != nil {
+			return nil, err
+		}
+	}
+	if err := registerExecutables(engine); err != nil {
+		return nil, err
+	}
+	return engine, nil
+}
+
+// registerExecutables installs the generic analyst executables the
+// server offers over any camera.
+func registerExecutables(e *privid.Engine) error {
+	execs := map[string]privid.ProcessFunc{
+		"headcount":      headcount,
+		"count_entrants": countEntrants,
+		"max_speed":      maxSpeed,
+	}
+	for name, fn := range execs {
+		if err := e.Registry().Register(name, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// headcount emits one row with the number of objects visible at the
+// chunk's middle frame.
+func headcount(chunk *privid.Chunk) []privid.Row {
+	n := 0
+	for _, o := range chunk.Frame(chunk.Len() / 2).Objects {
+		if o.EntityID >= 0 {
+			n++
+		}
+	}
+	return []privid.Row{{privid.N(float64(n))}}
+}
+
+// countEntrants emits one row per private object that enters during
+// the chunk — visible in a later frame but not the first — which is
+// the §6.2 pattern for counting without stable IDs.
+func countEntrants(chunk *privid.Chunk) []privid.Row {
+	seen := map[int]bool{}
+	for _, o := range chunk.Frame(0).Objects {
+		seen[o.EntityID] = true
+	}
+	counted := map[int]bool{}
+	var rows []privid.Row
+	for f := int64(1); f < chunk.Len(); f++ {
+		for _, o := range chunk.Frame(f).Objects {
+			if o.EntityID < 0 || seen[o.EntityID] || counted[o.EntityID] {
+				continue
+			}
+			counted[o.EntityID] = true
+			rows = append(rows, privid.Row{privid.N(1)})
+		}
+	}
+	return rows
+}
+
+// maxSpeed emits one row with the maximum instantaneous object speed
+// observed in the chunk (sampled once per second).
+func maxSpeed(chunk *privid.Chunk) []privid.Row {
+	step := int64(chunk.FPS)
+	if step < 1 {
+		step = 1
+	}
+	max := 0.0
+	for f := int64(0); f < chunk.Len(); f += step {
+		for _, o := range chunk.Frame(f).Objects {
+			if o.Speed > max {
+				max = o.Speed
+			}
+		}
+	}
+	return []privid.Row{{privid.N(max)}}
+}
+
+func main() {
+	var (
+		cfgPath = flag.String("config", "", "deployment config JSON (default: built-in 3-camera deployment)")
+		addr    = flag.String("addr", "", "listen address (overrides config)")
+		dump    = flag.Bool("dump-config", false, "print the default deployment config and exit")
+	)
+	flag.Parse()
+
+	if *dump {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(defaultConfig())
+		return
+	}
+
+	cfg, err := loadConfig(*cfgPath)
+	if err != nil {
+		log.Fatalf("privid-server: %v", err)
+	}
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+
+	log.Printf("building engine (%d cameras)...", len(cfg.Cameras))
+	engine, err := buildEngine(cfg)
+	if err != nil {
+		log.Fatalf("privid-server: %v", err)
+	}
+	for _, ci := range engine.Cameras() {
+		log.Printf("camera %-10s %.0f frames @ %d fps, eps=%.3g, rho=%s, K=%d, masks=%v schemes=%v",
+			ci.Name, float64(ci.Frames), int(ci.FPS), ci.Epsilon, ci.Policy.Rho, ci.Policy.K, ci.Masks, ci.Schemes)
+	}
+
+	sched := privid.NewScheduler(engine, privid.SchedulerOptions{
+		Workers:            cfg.Workers,
+		PerAnalystInFlight: cfg.PerAnalystInFlight,
+		QueueDepth:         cfg.QueueDepth,
+		MaxFinishedJobs:    cfg.MaxFinishedJobs,
+	})
+	defer sched.Close()
+
+	log.Printf("serving on %s", cfg.Addr)
+	srv := &http.Server{
+		Addr:    cfg.Addr,
+		Handler: privid.NewAPIHandler(engine, sched),
+		// Slow-client limits: requests are small JSON, responses are
+		// bounded; nothing legitimate needs minutes of socket time.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("privid-server: %v", err)
+	}
+}

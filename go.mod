@@ -1,0 +1,3 @@
+module privid
+
+go 1.24

@@ -1,0 +1,191 @@
+// Package cache provides the concurrency-safe, size-bounded LRU cache
+// the engine uses to memoize PROCESS results per chunk.
+//
+// Why memoization is sound: the sandbox contract (Appendix B, enforced
+// by internal/sandbox) requires every ProcessFunc to be a pure function
+// of its chunk — no state may survive across invocations and nothing
+// but the chunk's frames may influence the output. Two chunks that show
+// the same camera through the same mask over the same absolute frame
+// range, cropped to the same region and processed by the same
+// executable under the same schema/row/timeout limits, are therefore
+// interchangeable, and the intermediate-table rows they produce can be
+// reused across queries and across overlapping SPLIT windows.
+//
+// Why memoization is private: the cache sits strictly on the cost side
+// of the engine. Budget admission (Algorithm 1) charges a query for the
+// frame intervals its releases depend on, whether or not the rows that
+// produced those releases came from a cache hit — a hit changes how
+// fast an answer is computed, never which answers are admitted, how
+// much ε they consume, or how much noise they carry.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"privid/internal/table"
+)
+
+// entryOverhead approximates the fixed bookkeeping bytes per cache
+// entry (map bucket, list element, key string header, slice headers).
+const entryOverhead = 128
+
+// valueOverhead approximates the bytes of one table.Value (type tag,
+// float, string header) beyond its string content.
+const valueOverhead = 32
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes since construction.
+	Hits, Misses uint64
+	// Puts counts stored entries (including overwrites).
+	Puts uint64
+	// Evictions counts entries dropped to stay under the byte bound.
+	Evictions uint64
+	// Entries is the current entry count.
+	Entries int
+	// Bytes is the current approximate memory footprint.
+	Bytes int64
+	// MaxBytes is the configured bound.
+	MaxBytes int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// LRU is a least-recently-used cache from string keys to
+// intermediate-table row sets, bounded by approximate total bytes. It
+// is safe for concurrent use.
+type LRU struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+
+	hits, misses, puts, evictions uint64
+}
+
+type lruEntry struct {
+	key  string
+	rows []table.Row
+	cost int64
+}
+
+// New returns an empty cache bounded at maxBytes (approximate).
+// maxBytes <= 0 yields a cache that stores nothing, so callers may
+// treat "no cache" uniformly.
+func New(maxBytes int64) *LRU {
+	return &LRU{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+	}
+}
+
+// rowsCost approximates the memory footprint of a row set.
+func rowsCost(key string, rows []table.Row) int64 {
+	cost := int64(entryOverhead + len(key))
+	for _, r := range rows {
+		cost += 24 // slice header
+		for _, v := range r {
+			cost += valueOverhead + int64(len(v.Str()))
+		}
+	}
+	return cost
+}
+
+// cloneRows deep-copies a row set. Values are immutable value structs,
+// so copying the row slices fully decouples caller and cache: neither
+// later appends nor in-place writes on one side can reach the other.
+func cloneRows(rows []table.Row) []table.Row {
+	out := make([]table.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// Get returns a private copy of the rows stored under key and marks the
+// entry most recently used.
+func (c *LRU) Get(key string) ([]table.Row, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return cloneRows(el.Value.(*lruEntry).rows), true
+}
+
+// Put stores a private copy of rows under key, evicting
+// least-recently-used entries as needed to respect the byte bound. An
+// entry larger than the whole bound is not stored.
+func (c *LRU) Put(key string, rows []table.Row) {
+	cost := rowsCost(key, rows)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cost > c.maxBytes {
+		// Too large to ever fit; admitting it would flush everything.
+		return
+	}
+	c.puts++
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.bytes += cost - ent.cost
+		ent.rows = cloneRows(rows)
+		ent.cost = cost
+		c.ll.MoveToFront(el)
+	} else {
+		ent := &lruEntry{key: key, rows: cloneRows(rows), cost: cost}
+		c.items[key] = c.ll.PushFront(ent)
+		c.bytes += cost
+	}
+	for c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the least-recently-used entry. Caller holds c.mu.
+func (c *LRU) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= ent.cost
+	c.evictions++
+}
+
+// Len returns the current entry count.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Puts:      c.puts,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}

@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"privid/internal/table"
+)
+
+func rows(vals ...float64) []table.Row {
+	out := make([]table.Row, len(vals))
+	for i, v := range vals {
+		out[i] = table.Row{table.N(v)}
+	}
+	return out
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", rows(1, 2, 3))
+	got, ok := c.Get("a")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if len(got) != 3 || got[1][0].Num() != 2 {
+		t.Fatalf("wrong rows back: %v", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+// Cached rows must be isolated from caller mutation in both
+// directions: appending implicit columns to a returned row (what the
+// engine does when stamping) must not corrupt the stored copy.
+func TestGetReturnsPrivateCopy(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", rows(7))
+	got, _ := c.Get("k")
+	got[0] = append(got[0], table.S("region"))
+	got[0][0] = table.N(99)
+
+	again, _ := c.Get("k")
+	if len(again[0]) != 1 || again[0][0].Num() != 7 {
+		t.Fatalf("stored rows were mutated through a Get copy: %v", again)
+	}
+}
+
+func TestPutStoresPrivateCopy(t *testing.T) {
+	c := New(1 << 20)
+	in := rows(5)
+	c.Put("k", in)
+	in[0][0] = table.N(-1)
+	got, _ := c.Get("k")
+	if got[0][0].Num() != 5 {
+		t.Fatalf("stored rows alias caller's slice: %v", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	one := rowsCost("k00", rows(1))
+	c := New(3 * one) // room for exactly three entries
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%02d", i), rows(float64(i)))
+	}
+	// Touch k00 so k01 becomes the eviction victim.
+	if _, ok := c.Get("k00"); !ok {
+		t.Fatal("k00 missing")
+	}
+	c.Put("k03", rows(3))
+	if _, ok := c.Get("k01"); ok {
+		t.Fatal("k01 should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"k00", "k02", "k03"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d exceeds bound %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestOversizeEntryRejected(t *testing.T) {
+	c := New(64) // smaller than any realistic entry
+	c.Put("big", rows(1, 2, 3, 4, 5, 6, 7, 8))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("entry larger than the whole bound must not be stored")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestOverwriteUpdatesCost(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", rows(1, 2, 3, 4, 5, 6, 7, 8))
+	before := c.Stats().Bytes
+	c.Put("k", rows(1))
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if st.Bytes >= before {
+		t.Fatalf("bytes %d not reduced from %d after shrinking overwrite", st.Bytes, before)
+	}
+	got, _ := c.Get("k")
+	if len(got) != 1 {
+		t.Fatalf("overwrite not visible: %v", got)
+	}
+}
+
+func TestZeroBoundStoresNothing(t *testing.T) {
+	c := New(0)
+	c.Put("k", rows(1))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-bound cache stored an entry")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16) // small enough to force constant eviction
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%40)
+				if got, ok := c.Get(key); ok {
+					if got[0][0].Num() != float64((g*7+i)%40) {
+						t.Errorf("key %s returned wrong rows", key)
+						return
+					}
+				} else {
+					c.Put(key, rows(float64((g*7+i)%40)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d exceeds bound %d", st.Bytes, st.MaxBytes)
+	}
+}

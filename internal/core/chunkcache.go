@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"privid/internal/table"
+	"privid/internal/vtime"
+)
+
+// chunkKeyPrefix builds the cache-key prefix shared by every chunk of
+// one (SPLIT, PROCESS) pair over one region source. Together with the
+// per-chunk suffix it captures everything the sandbox's output may
+// legitimately depend on:
+//
+//   - the frames the executable sees: camera, mask, region scheme and
+//     region name, and (via the suffix) the absolute frame interval;
+//   - the executable itself and its contract limits: TIMEOUT, max
+//     rows, and the declared schema (types and default values shape
+//     conformed rows).
+//
+// Chunk and stride lengths are included conservatively even though the
+// absolute frame interval already pins the content, so distinct
+// chunking grids never share entries. The one chunk field deliberately
+// excluded is Ordinal: it is positional metadata whose numbering
+// shifts between overlapping SPLIT windows covering identical frames,
+// and a conforming ProcessFunc (a pure function of the chunk's frames,
+// Appendix B) cannot encode it in its rows. Keying on content rather
+// than position is what lets overlapping windows reuse each other's
+// work.
+func chunkKeyPrefix(camera, maskID, schemeName, region, using string,
+	timeout time.Duration, maxRows int, schema table.Schema,
+	chunkF, strideF int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%q|%q|%q|%q|%q|%d|%d|%d|%d|",
+		camera, maskID, schemeName, region, using,
+		timeout, maxRows, chunkF, strideF)
+	for _, c := range schema.Cols {
+		fmt.Fprintf(&b, "%q:%d:%q;", c.Name, c.Type, c.Default.Key())
+	}
+	return b.String()
+}
+
+// chunkKeySuffix identifies one chunk within a prefix by its absolute
+// frame interval.
+func chunkKeySuffix(iv vtime.Interval) string {
+	return fmt.Sprintf("|%d-%d", iv.Start, iv.End)
+}

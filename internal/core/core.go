@@ -9,15 +9,19 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"privid/internal/cache"
 	"privid/internal/dp"
 	"privid/internal/mask"
 	"privid/internal/policy"
 	"privid/internal/region"
 	"privid/internal/sandbox"
 	"privid/internal/video"
+	"privid/internal/vtime"
 )
 
 // CameraConfig registers one camera with the engine. All fields except
@@ -57,18 +61,38 @@ type Options struct {
 	// value. It exists only for accuracy studies against a non-private
 	// baseline and must be off in any real deployment.
 	Evaluation bool
-	// Parallelism bounds concurrent chunk processing (0 = serial).
+	// Parallelism bounds concurrent sandbox chunk executions
+	// engine-wide — across all queries executing at once, not per
+	// query — so a serving layer running many workers cannot
+	// oversubscribe the CPU and push executables past their wall-clock
+	// TIMEOUT. 0 (the default) uses runtime.GOMAXPROCS(0); set 1
+	// explicitly to force serial processing.
 	Parallelism int
+	// ChunkCacheBytes bounds the in-memory cache of per-chunk PROCESS
+	// results (approximate bytes). 0 (the default) uses
+	// DefaultChunkCacheBytes; a negative value disables caching
+	// entirely. The cache memoizes sandbox output only — see
+	// internal/cache for why a hit can never change budget admission,
+	// ε accounting, or noise.
+	ChunkCacheBytes int64
 	// Now overrides the audit-log clock (tests only; nil = time.Now).
 	Now func() time.Time
 }
+
+// DefaultChunkCacheBytes is the chunk-result cache bound used when
+// Options.ChunkCacheBytes is 0.
+const DefaultChunkCacheBytes = 64 << 20
 
 // Engine is a Privid deployment: a set of cameras and a registry of
 // analyst executables. Engines are safe for concurrent query
 // execution; budget admission is serialized.
 type Engine struct {
-	opts     Options
-	registry *sandbox.Registry
+	opts       Options
+	registry   *sandbox.Registry
+	chunkCache *cache.LRU // nil when caching is disabled
+	// procSem bounds concurrent sandbox executions engine-wide (size
+	// Options.Parallelism). Cache hits bypass it.
+	procSem chan struct{}
 
 	mu      sync.Mutex
 	cameras map[string]*camera
@@ -86,12 +110,88 @@ func New(opts Options) *Engine {
 	if opts.DefaultQueryEpsilon <= 0 {
 		opts.DefaultQueryEpsilon = 1.0
 	}
-	return &Engine{
-		opts:     opts,
-		registry: sandbox.NewRegistry(),
-		cameras:  map[string]*camera{},
-		noise:    dp.NewNoise(opts.Seed),
+	if opts.Parallelism == 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	if opts.ChunkCacheBytes == 0 {
+		opts.ChunkCacheBytes = DefaultChunkCacheBytes
+	}
+	var cc *cache.LRU
+	if opts.ChunkCacheBytes > 0 {
+		cc = cache.New(opts.ChunkCacheBytes)
+	}
+	return &Engine{
+		opts:       opts,
+		registry:   sandbox.NewRegistry(),
+		chunkCache: cc,
+		procSem:    make(chan struct{}, opts.Parallelism),
+		cameras:    map[string]*camera{},
+		noise:      dp.NewNoise(opts.Seed),
+	}
+}
+
+// CacheStats returns a snapshot of the chunk-result cache counters
+// (zero-valued when caching is disabled).
+func (e *Engine) CacheStats() cache.Stats {
+	if e.chunkCache == nil {
+		return cache.Stats{}
+	}
+	return e.chunkCache.Stats()
+}
+
+// CameraInfo is the owner-visible description of one registered camera,
+// for deployment listings (the serving layer's camera endpoint).
+type CameraInfo struct {
+	Name    string
+	W, H    float64
+	FPS     vtime.FrameRate
+	Start   time.Time
+	Frames  int64
+	Epsilon float64
+	Policy  policy.Policy
+	// Masks lists the published mask IDs analysts may name in WITH MASK.
+	Masks []string
+	// Schemes lists the spatial-splitting scheme names (region and grid
+	// schemes share the BY REGION namespace).
+	Schemes []string
+}
+
+// Cameras describes every registered camera, sorted by name.
+func (e *Engine) Cameras() []CameraInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]CameraInfo, 0, len(e.cameras))
+	for _, cam := range e.cameras {
+		info := cam.cfg.Source.Info()
+		ci := CameraInfo{
+			Name:    cam.cfg.Name,
+			W:       info.W,
+			H:       info.H,
+			FPS:     info.FPS,
+			Start:   info.Start,
+			Frames:  info.Frames,
+			Epsilon: cam.cfg.Epsilon,
+			Policy:  cam.cfg.Policy,
+		}
+		if cam.cfg.Policies != nil {
+			for _, entry := range cam.cfg.Policies.Entries {
+				ci.Masks = append(ci.Masks, entry.ID)
+			}
+		}
+		for name := range cam.cfg.Schemes {
+			ci.Schemes = append(ci.Schemes, name)
+		}
+		for name := range cam.cfg.GridSchemes {
+			ci.Schemes = append(ci.Schemes, name)
+		}
+		sort.Strings(ci.Schemes)
+		out = append(out, ci)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Registry returns the executable registry analysts register their

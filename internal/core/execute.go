@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privid/internal/dp"
@@ -51,6 +52,13 @@ type Result struct {
 	// releases).
 	EpsilonSpent float64
 }
+
+// slotGraceMultiple scales a PROCESS statement's TIMEOUT into the
+// grace period after which a timed-out executable that still has not
+// exited forfeits its Parallelism slot. Long enough that an executable
+// merely overrunning keeps the engine-wide bound exact; short enough
+// that a truly hung executable cannot wedge the engine.
+const slotGraceMultiple = 4
 
 // splitPlan is a resolved SPLIT statement: one video.Split per region
 // (a single entry with empty region name when unsplit).
@@ -312,7 +320,12 @@ func (e *Engine) resolveSplit(st *query.SplitStmt) (*splitPlan, error) {
 }
 
 // runProcess executes the analyst's executable over every chunk of the
-// plan and materializes the intermediate table.
+// plan and materializes the intermediate table. Chunk results are
+// memoized in the engine's chunk cache (when enabled): a chunk whose
+// (content identity, executable, contract limits) key is already
+// cached skips sandbox execution entirely. Caching affects only how
+// fast the table materializes — admission and noise downstream never
+// observe whether a row came from the sandbox or the cache.
 func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instance, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("core: PROCESS input %q has no SPLIT", st.Input)
@@ -329,7 +342,7 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instan
 	if err != nil {
 		return nil, fmt.Errorf("core: PROCESS schema: %w", err)
 	}
-	exec := &sandbox.Executor{
+	exec := sandbox.Executor{
 		Fn:      fn,
 		Timeout: st.Timeout,
 		MaxRows: st.MaxRows,
@@ -344,9 +357,63 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instan
 	for _, split := range plan.splits {
 		ords := split.ActiveChunks()
 		rowsByOrd := make([][]table.Row, len(ords))
+		var keyPrefix string
+		if e.chunkCache != nil {
+			keyPrefix = chunkKeyPrefix(
+				plan.cam.cfg.Name, plan.stmt.Mask, plan.stmt.Region,
+				split.Region, st.Using, st.Timeout, st.MaxRows, schema,
+				plan.chunkF, plan.strideF)
+		}
 		process := func(i int) {
 			chunk := split.ChunkAt(ords[i])
-			rows := exec.Run(chunk)
+			var rows []table.Row
+			hit := false
+			var key string
+			if e.chunkCache != nil {
+				key = keyPrefix + chunkKeySuffix(chunk.Interval)
+				rows, hit = e.chunkCache.Get(key)
+			}
+			if !hit {
+				// The engine-wide semaphore keeps the total number of
+				// in-flight sandbox executions — across every query
+				// running concurrently — at Parallelism, so serving
+				// many analysts cannot oversubscribe the CPU and push
+				// executables past their wall-clock TIMEOUT.
+				//
+				// The slot is released when the executable goroutine
+				// exits (on a timeout that is later than RunChecked's
+				// return, so a slow executable cannot be double-booked)
+				// — except that a hung executable forfeits its slot
+				// after a grace period, so one non-terminating
+				// ProcessFunc degrades to a bounded CPU leak instead of
+				// permanently wedging every analyst's queries.
+				e.procSem <- struct{}{}
+				var once sync.Once
+				var released atomic.Bool
+				release := func() {
+					once.Do(func() {
+						released.Store(true)
+						<-e.procSem
+					})
+				}
+				runExec := exec
+				runExec.Done = release
+				var clean bool
+				rows, clean = runExec.RunChecked(chunk)
+				// Arm the grace backstop only when the slot is still
+				// held — a panic's goroutine has already exited and
+				// released, so it needs no timer. (A release racing
+				// this check just leaves one harmless no-op timer.)
+				if !clean && st.Timeout > 0 && !released.Load() {
+					time.AfterFunc(slotGraceMultiple*st.Timeout, release)
+				}
+				// Timeout/panic fallback rows depend on machine load,
+				// not on the chunk; caching them would poison every
+				// later query over this chunk with default rows.
+				if e.chunkCache != nil && clean {
+					e.chunkCache.Put(key, rows)
+				}
+			}
 			stamped := make([]table.Row, len(rows))
 			ts := table.N(float64(chunk.Start.Unix()))
 			for j, r := range rows {

@@ -85,6 +85,12 @@ type Executor struct {
 	Timeout time.Duration
 	MaxRows int
 	Schema  table.Schema
+	// Done, if non-nil, is called exactly once per Run when the
+	// executable goroutine actually exits. On a timeout that is later
+	// than Run's own return — which is what lets callers bound the
+	// true number of in-flight executions rather than the number of
+	// un-returned Run calls.
+	Done func()
 }
 
 // Run processes one chunk and returns schema-conforming rows. On
@@ -92,12 +98,26 @@ type Executor struct {
 // (Appendix D's TIMEOUT semantics). Output beyond MaxRows is dropped;
 // every row is coerced to the schema.
 func (e *Executor) Run(chunk *video.Chunk) []table.Row {
+	rows, _ := e.RunChecked(chunk)
+	return rows
+}
+
+// RunChecked is Run, additionally reporting whether the executable
+// completed cleanly. ok is false when the default row was substituted
+// for a timeout, panic, or crash — outcomes that depend on machine
+// load rather than on the chunk alone, which callers memoizing results
+// (the engine's chunk cache) must not treat as the chunk's true
+// output.
+func (e *Executor) RunChecked(chunk *video.Chunk) (rows []table.Row, ok bool) {
 	type result struct {
 		rows []table.Row
 		ok   bool
 	}
 	ch := make(chan result, 1)
 	go func() {
+		if e.Done != nil {
+			defer e.Done()
+		}
 		defer func() {
 			if recover() != nil {
 				ch <- result{ok: false}
@@ -123,15 +143,15 @@ func (e *Executor) Run(chunk *video.Chunk) []table.Row {
 	}
 
 	if !res.ok {
-		return []table.Row{e.Schema.DefaultRow()}
+		return []table.Row{e.Schema.DefaultRow()}, false
 	}
-	rows := res.rows
-	if e.MaxRows > 0 && len(rows) > e.MaxRows {
-		rows = rows[:e.MaxRows]
+	raw := res.rows
+	if e.MaxRows > 0 && len(raw) > e.MaxRows {
+		raw = raw[:e.MaxRows]
 	}
-	out := make([]table.Row, len(rows))
-	for i, r := range rows {
+	out := make([]table.Row, len(raw))
+	for i, r := range raw {
 		out[i] = e.Schema.Conform(r)
 	}
-	return out
+	return out, true
 }

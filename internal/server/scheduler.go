@@ -1,0 +1,338 @@
+// Package server is Privid's serving layer: an asynchronous job
+// scheduler that runs analyst queries on a worker pool over one
+// engine, and an HTTP/JSON API exposing query submission, job polling,
+// camera and budget inspection, and the owner's audit log.
+//
+// The scheduler model is submit → job ID → poll: queries can run for
+// minutes (they process video), so the API never blocks a connection
+// on execution. Fairness under heavy multi-analyst traffic comes from
+// a bounded per-analyst in-flight limit — one analyst flooding the
+// queue is refused admission (retryable) before it can starve others —
+// while the worker pool bounds total engine concurrency. Privacy
+// enforcement stays entirely inside the engine: the scheduler adds no
+// privacy semantics of its own.
+//
+// The layer performs no authentication: the analyst name is
+// client-supplied, so the in-flight limit is a fairness mechanism
+// among honest clients, not a security boundary, and the owner-facing
+// endpoints (audit log, stats, other analysts' jobs) are open. A real
+// deployment must front the API with authentication that fixes the
+// analyst identity and gates owner endpoints; see DESIGN.md
+// §"Deployment trust boundary".
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"privid/internal/core"
+	"privid/internal/query"
+)
+
+// SchedulerOptions configure a Scheduler.
+type SchedulerOptions struct {
+	// Workers is the worker-pool size (concurrent query executions).
+	// 0 uses runtime.GOMAXPROCS(0).
+	Workers int
+	// PerAnalystInFlight bounds one analyst's queued+running jobs;
+	// submissions beyond it are refused with ErrAnalystBusy. 0 uses 4.
+	PerAnalystInFlight int
+	// QueueDepth bounds the backlog of queued jobs across all
+	// analysts; submissions beyond it are refused with ErrQueueFull.
+	// 0 uses 256.
+	QueueDepth int
+	// MaxFinishedJobs bounds how many terminal (done/failed) jobs the
+	// scheduler retains for polling; the oldest are dropped beyond it,
+	// so a long-running server's memory stays bounded. 0 uses 1000.
+	MaxFinishedJobs int
+	// Now overrides the job-timestamp clock (tests only).
+	Now func() time.Time
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.PerAnalystInFlight <= 0 {
+		o.PerAnalystInFlight = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.MaxFinishedJobs <= 0 {
+		o.MaxFinishedJobs = 1000
+	}
+	return o
+}
+
+// JobState is the lifecycle state of a submitted query.
+type JobState string
+
+const (
+	// JobQueued means the job is waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning means a worker is executing the job.
+	JobRunning JobState = "running"
+	// JobDone means execution succeeded and the result is available.
+	JobDone JobState = "done"
+	// JobFailed means execution was denied or errored.
+	JobFailed JobState = "failed"
+)
+
+// JobInfo is a snapshot of one job's state.
+type JobInfo struct {
+	ID      string
+	Analyst string
+	Query   string
+	State   JobState
+	// Error is the failure reason (JobFailed only).
+	Error string
+	// Result is the query outcome (JobDone only).
+	Result      *core.Result
+	SubmittedAt time.Time
+	StartedAt   time.Time // zero until running
+	FinishedAt  time.Time // zero until done/failed
+}
+
+// Finished reports whether the job has reached a terminal state.
+func (j JobInfo) Finished() bool { return j.State == JobDone || j.State == JobFailed }
+
+// Submission errors the API layer maps to retryable HTTP statuses.
+var (
+	// ErrAnalystBusy means the analyst is at their in-flight limit.
+	ErrAnalystBusy = errors.New("server: analyst at in-flight job limit, retry later")
+	// ErrQueueFull means the global backlog is at capacity.
+	ErrQueueFull = errors.New("server: job queue full, retry later")
+	// ErrClosed means the scheduler is shutting down.
+	ErrClosed = errors.New("server: scheduler closed")
+)
+
+type job struct {
+	info JobInfo
+	prog *query.Program
+}
+
+// Scheduler runs analyst queries asynchronously on a worker pool over
+// one engine. It is safe for concurrent use.
+type Scheduler struct {
+	engine *core.Engine
+	opts   SchedulerOptions
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string       // submission order, for listing
+	inflight map[string]int // analyst → queued+running jobs
+	finished int            // terminal jobs currently retained
+	// doneTotal/failedTotal are monotonic lifetime counters; the
+	// retained-job map alone would undercount once pruning starts.
+	doneTotal, failedTotal int64
+	seq                    int64
+	closed                 bool
+}
+
+// NewScheduler starts a scheduler over the engine. Call Close to drain
+// the pool.
+func NewScheduler(engine *core.Engine, opts SchedulerOptions) *Scheduler {
+	opts = opts.withDefaults()
+	s := &Scheduler{
+		engine:   engine,
+		opts:     opts,
+		queue:    make(chan *job, opts.QueueDepth),
+		jobs:     map[string]*job{},
+		inflight: map[string]int{},
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) now() time.Time {
+	if s.opts.Now != nil {
+		return s.opts.Now()
+	}
+	return time.Now()
+}
+
+// Submit parses and enqueues a query on behalf of an analyst and
+// returns its job ID. Parse and validation errors are returned
+// synchronously (the query never becomes a job); execution errors —
+// including budget denial — surface as JobFailed. Admission is refused
+// with ErrAnalystBusy or ErrQueueFull under load.
+func (s *Scheduler) Submit(analyst, src string) (string, error) {
+	if analyst == "" {
+		return "", fmt.Errorf("server: analyst name required")
+	}
+	prog, err := query.Parse(src)
+	if err != nil {
+		return "", err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	if s.inflight[analyst] >= s.opts.PerAnalystInFlight {
+		s.mu.Unlock()
+		return "", ErrAnalystBusy
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	s.seq++
+	j := &job{
+		info: JobInfo{
+			ID:          fmt.Sprintf("q-%06d", s.seq),
+			Analyst:     analyst,
+			Query:       src,
+			State:       JobQueued,
+			SubmittedAt: s.now(),
+		},
+		prog: prog,
+	}
+	s.jobs[j.info.ID] = j
+	s.order = append(s.order, j.info.ID)
+	s.inflight[analyst]++
+	// Reserve the slot under the lock; the buffered send cannot block
+	// because queue length was checked above and only Submit sends.
+	s.queue <- j
+	s.mu.Unlock()
+	return j.info.ID, nil
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		j.info.State = JobRunning
+		j.info.StartedAt = s.now()
+		s.mu.Unlock()
+
+		res, err := s.engine.Execute(j.prog)
+
+		s.mu.Lock()
+		j.info.FinishedAt = s.now()
+		if err != nil {
+			j.info.State = JobFailed
+			j.info.Error = err.Error()
+			s.failedTotal++
+		} else {
+			j.info.State = JobDone
+			j.info.Result = res
+			s.doneTotal++
+		}
+		s.inflight[j.info.Analyst]--
+		if s.inflight[j.info.Analyst] == 0 {
+			delete(s.inflight, j.info.Analyst)
+		}
+		s.finished++
+		s.pruneLocked()
+		s.mu.Unlock()
+	}
+}
+
+// pruneLocked drops the oldest terminal jobs beyond MaxFinishedJobs so
+// retained history (query text + results) stays bounded. Queued and
+// running jobs are never dropped. Caller holds s.mu.
+func (s *Scheduler) pruneLocked() {
+	for s.finished > s.opts.MaxFinishedJobs {
+		dropped := false
+		for i, id := range s.order {
+			if !s.jobs[id].info.Finished() {
+				continue
+			}
+			delete(s.jobs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			s.finished--
+			dropped = true
+			break
+		}
+		if !dropped {
+			return
+		}
+	}
+}
+
+// Job returns a snapshot of one job.
+func (s *Scheduler) Job(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.info, true
+}
+
+// Jobs returns snapshots of every job in submission order, optionally
+// filtered to one analyst ("" keeps all).
+func (s *Scheduler) Jobs(analyst string) []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.order))
+	for _, id := range s.order {
+		info := s.jobs[id].info
+		if analyst != "" && info.Analyst != analyst {
+			continue
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Stats is a snapshot of scheduler load. Done and Failed are lifetime
+// totals (they keep counting after old terminal jobs are pruned), so
+// Queued+Running+Done+Failed always equals Submitted.
+type Stats struct {
+	Workers   int
+	Queued    int
+	Running   int
+	Done      int64
+	Failed    int64
+	Submitted int64
+}
+
+// Stats returns a snapshot of scheduler load.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers:   s.opts.Workers,
+		Submitted: s.seq,
+		Done:      s.doneTotal,
+		Failed:    s.failedTotal,
+	}
+	for _, j := range s.jobs {
+		switch j.info.State {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Close stops accepting submissions, waits for queued and running jobs
+// to finish, and returns. Safe to call once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -46,8 +46,10 @@
 package privid
 
 import (
+	"net/http"
 	"time"
 
+	"privid/internal/cache"
 	"privid/internal/core"
 	"privid/internal/cv"
 	"privid/internal/geom"
@@ -57,6 +59,7 @@ import (
 	"privid/internal/region"
 	"privid/internal/sandbox"
 	"privid/internal/scene"
+	"privid/internal/server"
 	"privid/internal/table"
 	"privid/internal/taxi"
 	"privid/internal/video"
@@ -135,6 +138,40 @@ type (
 	// Grid divides a frame into fixed boxes for masking.
 	Grid = geom.Grid
 )
+
+// Serving-layer types (see internal/server and DESIGN.md §"Query
+// service layer").
+type (
+	// QueryScheduler runs analyst queries asynchronously on a worker
+	// pool over one engine: submit → job ID → poll.
+	QueryScheduler = server.Scheduler
+	// SchedulerOptions configure a QueryScheduler (worker-pool size,
+	// per-analyst in-flight limit, queue depth).
+	SchedulerOptions = server.SchedulerOptions
+	// JobInfo is a snapshot of one submitted query's state.
+	JobInfo = server.JobInfo
+	// JobState is a job lifecycle state (queued/running/done/failed).
+	JobState = server.JobState
+	// CameraInfo describes one registered camera for deployment
+	// listings.
+	CameraInfo = core.CameraInfo
+	// CacheStats is a snapshot of the engine's chunk-result cache
+	// counters (Engine.CacheStats).
+	CacheStats = cache.Stats
+)
+
+// NewScheduler starts an asynchronous query scheduler over an engine.
+// Call Close to drain it.
+func NewScheduler(e *Engine, opts SchedulerOptions) *QueryScheduler {
+	return server.NewScheduler(e, opts)
+}
+
+// NewAPIHandler returns the HTTP/JSON API serving an engine through a
+// scheduler: query submit/status/result, camera listing, budget
+// inspection, the audit log, and cache/scheduler stats.
+func NewAPIHandler(e *Engine, s *QueryScheduler) http.Handler {
+	return server.NewAPI(e, s)
+}
 
 // StandingQuery is a long-running query over live video: each Advance
 // releases (and pays budget for) exactly the buckets whose time span
