@@ -6,11 +6,21 @@
 //
 // Usage:
 //
-//	privid-server [-config deploy.json] [-addr :8080]
-//	privid-server -dump-config          # print the default deployment
+//	privid-server [-config deploy.json] [-addr :8080] [-state-dir DIR]
+//	privid-server -state-dir DIR -repair   # truncate a torn WAL tail
+//	privid-server -dump-config             # print the default deployment
 //
 // Without -config it serves the default synthetic deployment (the
 // paper's campus, highway and urban cameras, 30 minutes each).
+//
+// With -state-dir (or "state_dir" in the config) the privacy ledger is
+// durable: every ε charge is written to a write-ahead log and fsynced
+// before the noised result is released, so restarting the server
+// cannot refill any camera's budget. On SIGINT/SIGTERM the server
+// shuts down gracefully — it stops accepting queries, drains running
+// jobs, and compacts the log into a snapshot so the next start
+// recovers instantly. A torn WAL (crash mid-write) refuses to start;
+// -repair truncates it to the last valid record.
 //
 // Each camera entry names a built-in scene profile; its policy is the
 // (ρ, K) bound of §5 and epsilon the per-frame budget εC of §6.4.
@@ -32,12 +42,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"privid"
@@ -84,6 +97,12 @@ type config struct {
 	PerAnalystInFlight int `json:"per_analyst_in_flight"`
 	QueueDepth         int `json:"queue_depth"`
 	MaxFinishedJobs    int `json:"max_finished_jobs"`
+	// StateDir enables the durable privacy ledger (WAL + snapshots);
+	// empty keeps budgets in memory only.
+	StateDir string `json:"state_dir,omitempty"`
+	// SnapshotEvery compacts the WAL after this many records (0 =
+	// default, negative disables automatic compaction).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
 	// Cameras lists the deployment's cameras.
 	Cameras []cameraSpec `json:"cameras"`
 }
@@ -121,13 +140,19 @@ func loadConfig(path string) (config, error) {
 	return cfg, nil
 }
 
-func buildEngine(cfg config) (*privid.Engine, error) {
-	engine := privid.New(privid.Options{
+func buildEngine(cfg config, repair bool) (*privid.Engine, error) {
+	engine, err := privid.Open(privid.Options{
 		Seed:                cfg.Seed,
 		DefaultQueryEpsilon: cfg.DefaultQueryEpsilon,
 		Parallelism:         cfg.Parallelism,
 		ChunkCacheBytes:     cfg.ChunkCacheBytes,
+		StateDir:            cfg.StateDir,
+		SnapshotEvery:       cfg.SnapshotEvery,
+		RepairState:         repair,
 	})
+	if err != nil {
+		return nil, err
+	}
 	profiles := privid.AllProfiles()
 	for _, spec := range cfg.Cameras {
 		p, ok := profiles[spec.Profile]
@@ -229,9 +254,11 @@ func maxSpeed(chunk *privid.Chunk) []privid.Row {
 
 func main() {
 	var (
-		cfgPath = flag.String("config", "", "deployment config JSON (default: built-in 3-camera deployment)")
-		addr    = flag.String("addr", "", "listen address (overrides config)")
-		dump    = flag.Bool("dump-config", false, "print the default deployment config and exit")
+		cfgPath  = flag.String("config", "", "deployment config JSON (default: built-in 3-camera deployment)")
+		addr     = flag.String("addr", "", "listen address (overrides config)")
+		stateDir = flag.String("state-dir", "", "durable ledger directory (overrides config; empty = in-memory budgets)")
+		repair   = flag.Bool("repair", false, "truncate a torn WAL tail to the last valid record before starting")
+		dump     = flag.Bool("dump-config", false, "print the default deployment config and exit")
 	)
 	flag.Parse()
 
@@ -249,11 +276,24 @@ func main() {
 	if *addr != "" {
 		cfg.Addr = *addr
 	}
+	if *stateDir != "" {
+		cfg.StateDir = *stateDir
+	}
+	if *repair && cfg.StateDir == "" {
+		// Repairing nothing must not silently boot an in-memory server
+		// with refilled budgets.
+		log.Fatalf("privid-server: -repair requires a state dir (-state-dir flag or state_dir in the config)")
+	}
 
 	log.Printf("building engine (%d cameras)...", len(cfg.Cameras))
-	engine, err := buildEngine(cfg)
+	engine, err := buildEngine(cfg, *repair)
 	if err != nil {
 		log.Fatalf("privid-server: %v", err)
+	}
+	if cfg.StateDir != "" {
+		si := engine.StateInfo()
+		log.Printf("durable ledger at %s: %d cameras with persisted charges, %d jobs, %d audit entries recovered",
+			si.Dir, si.Cameras, si.Jobs, si.AuditEntries)
 	}
 	for _, ci := range engine.Cameras() {
 		log.Printf("camera %-10s %.0f frames @ %d fps, eps=%.3g, rho=%s, K=%d, masks=%v schemes=%v",
@@ -266,7 +306,6 @@ func main() {
 		QueueDepth:         cfg.QueueDepth,
 		MaxFinishedJobs:    cfg.MaxFinishedJobs,
 	})
-	defer sched.Close()
 
 	log.Printf("serving on %s", cfg.Addr)
 	srv := &http.Server{
@@ -279,7 +318,31 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: stop accepting connections, drain running
+	// jobs (their charges and results persist as they finish), then
+	// compact the durable state into a final snapshot so the next
+	// start recovers instantly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
 		log.Fatalf("privid-server: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining connections and jobs...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("privid-server: http shutdown: %v", err)
+		}
+		sched.Close()
+		if err := engine.Close(); err != nil {
+			log.Printf("privid-server: state close: %v", err)
+		} else if cfg.StateDir != "" {
+			log.Printf("state snapshotted to %s", cfg.StateDir)
+		}
 	}
 }

@@ -44,9 +44,13 @@ func (e *Engine) AuditLog() []AuditEntry {
 	return append([]AuditEntry(nil), e.audit...)
 }
 
-// recordAudit appends an entry. Caller holds e.mu.
+// recordAudit appends an entry, stamping At when the caller has not
+// already (so the in-memory entry matches its durable WAL twin).
+// Caller holds e.mu.
 func (e *Engine) recordAudit(entry AuditEntry) {
-	entry.At = e.clock()
+	if entry.At.IsZero() {
+		entry.At = e.clock()
+	}
 	e.audit = append(e.audit, entry)
 }
 

@@ -20,6 +20,7 @@ import (
 	"privid/internal/policy"
 	"privid/internal/region"
 	"privid/internal/sandbox"
+	"privid/internal/store"
 	"privid/internal/video"
 	"privid/internal/vtime"
 )
@@ -75,6 +76,26 @@ type Options struct {
 	// internal/cache for why a hit can never change budget admission,
 	// ε accounting, or noise.
 	ChunkCacheBytes int64
+	// StateDir enables the durable privacy ledger: every admitted
+	// charge is written to a write-ahead log under this directory and
+	// fsynced before the noised result is released, and Open recovers
+	// per-camera spent budgets, the audit log and terminal job records
+	// from it, so a process restart cannot refill any camera's budget.
+	// Empty (the default) keeps the pre-durability in-memory behavior.
+	// See DESIGN.md §"Durability & the privacy ledger".
+	StateDir string
+	// RepairState truncates a torn or corrupt WAL tail to the last
+	// valid record when opening StateDir instead of refusing to start
+	// (the -repair server flag).
+	RepairState bool
+	// SnapshotEvery compacts the WAL (snapshot + new generation) after
+	// this many records. 0 uses the store default (4096); negative
+	// disables automatic compaction.
+	SnapshotEvery int
+	// Store overrides the durable store entirely (fault-injection
+	// tests). Takes precedence over StateDir; no recovery is
+	// performed.
+	Store store.Store
 	// Now overrides the audit-log clock (tests only; nil = time.Now).
 	Now func() time.Time
 }
@@ -93,6 +114,11 @@ type Engine struct {
 	// procSem bounds concurrent sandbox executions engine-wide (size
 	// Options.Parallelism). Cache hits bypass it.
 	procSem chan struct{}
+	// store persists charges, audit entries and terminal jobs; always
+	// non-nil (store.NullStore when durability is off). wal is the
+	// concrete WAL when StateDir is set (recovery and snapshots).
+	store store.Store
+	wal   *store.WAL
 
 	mu      sync.Mutex
 	cameras map[string]*camera
@@ -105,8 +131,25 @@ type camera struct {
 	ledger *dp.Ledger
 }
 
-// New returns an engine with no cameras.
+// New returns an engine with no cameras. It panics if Options demand
+// durable state that cannot be opened — only possible with StateDir
+// set; use Open to handle recovery errors (torn WAL, bad directory)
+// gracefully.
 func New(opts Options) *Engine {
+	e, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("core: New: %v (use core.Open to handle state-recovery errors)", err))
+	}
+	return e
+}
+
+// Open returns an engine with no cameras, opening and recovering the
+// durable state layer when Options.StateDir is set: per-camera spent
+// budgets replay from the last snapshot plus the WAL, the audit log is
+// restored, and terminal job records become available to the serving
+// layer (RecoveredJobs). A torn or corrupt WAL refuses to open unless
+// RepairState truncates it to the last valid record.
+func Open(opts Options) (*Engine, error) {
 	if opts.DefaultQueryEpsilon <= 0 {
 		opts.DefaultQueryEpsilon = 1.0
 	}
@@ -123,13 +166,126 @@ func New(opts Options) *Engine {
 	if opts.ChunkCacheBytes > 0 {
 		cc = cache.New(opts.ChunkCacheBytes)
 	}
-	return &Engine{
+	st := store.Store(store.NullStore{})
+	var wal *store.WAL
+	switch {
+	case opts.Store != nil:
+		st = opts.Store
+	case opts.StateDir != "":
+		if opts.RepairState {
+			if _, err := store.Repair(opts.StateDir); err != nil {
+				return nil, fmt.Errorf("core: repair state dir: %w", err)
+			}
+		}
+		w, err := store.Open(opts.StateDir, store.Options{
+			GroupCommit:   true,
+			SnapshotEvery: opts.SnapshotEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open state dir: %w", err)
+		}
+		wal = w
+		st = w
+	}
+	e := &Engine{
 		opts:       opts,
 		registry:   sandbox.NewRegistry(),
 		chunkCache: cc,
 		procSem:    make(chan struct{}, opts.Parallelism),
+		store:      st,
+		wal:        wal,
 		cameras:    map[string]*camera{},
 		noise:      dp.NewNoise(opts.Seed),
+	}
+	if wal != nil {
+		// Restore the owner's audit log so accountability spans
+		// restarts.
+		for _, ar := range wal.AuditEntries() {
+			e.audit = append(e.audit, AuditEntry{
+				At:           ar.At,
+				Cameras:      ar.Cameras,
+				Releases:     ar.Releases,
+				EpsilonSpent: ar.EpsilonSpent,
+				Denied:       ar.Denied,
+				Reason:       ar.Reason,
+			})
+		}
+	}
+	return e, nil
+}
+
+// Close takes a final snapshot of the durable state (when enabled) and
+// closes the store. The engine must be idle: callers drain their
+// scheduler first.
+func (e *Engine) Close() error {
+	return e.store.Close()
+}
+
+// StateStore returns the engine's durable store — store.NullStore when
+// durability is off — for co-located serving layers (the scheduler
+// persists terminal jobs through it so polls resolve across restarts).
+func (e *Engine) StateStore() store.Store { return e.store }
+
+// RecoveredJobs returns the terminal job records recovered from the
+// state dir (nil without one).
+func (e *Engine) RecoveredJobs() []store.JobRecord {
+	if e.wal == nil {
+		return nil
+	}
+	return e.wal.Jobs()
+}
+
+// StateInfo describes the engine's durable state layer, for the
+// serving layer's inspection endpoint.
+type StateInfo struct {
+	// Durable reports whether commits outlive the process.
+	Durable bool
+	// Dir is the state directory ("" for NullStore or injected
+	// stores).
+	Dir string
+	// Generation is the active WAL generation (advances on every
+	// compaction).
+	Generation int64
+	// WALBytes is the active log generation's size.
+	WALBytes int64
+	// RecordsSinceSnapshot counts WAL records the next compaction will
+	// fold into the snapshot.
+	RecordsSinceSnapshot int64
+	// Snapshots counts compactions taken by this process.
+	Snapshots int64
+	// LastSnapshot is the newest compaction's timestamp (zero when
+	// none yet).
+	LastSnapshot time.Time
+	// LastSnapshotError is the most recent automatic-compaction
+	// failure ("" when healthy); the commit that triggered it still
+	// succeeded.
+	LastSnapshotError string
+	// Cameras counts cameras with persisted charges.
+	Cameras int
+	// Jobs and AuditEntries count retained durable records.
+	Jobs         int
+	AuditEntries int
+}
+
+// StateInfo returns a snapshot of the durable state layer's status.
+func (e *Engine) StateInfo() StateInfo {
+	if e.wal == nil {
+		_, isNull := e.store.(store.NullStore)
+		return StateInfo{Durable: !isNull}
+	}
+	wi := e.wal.Info()
+	return StateInfo{
+		Durable:              true,
+		Dir:                  wi.Dir,
+		Generation:           wi.Gen,
+		WALBytes:             wi.WALBytes,
+		RecordsSinceSnapshot: wi.RecordsSinceSnapshot,
+		Snapshots:            wi.Snapshots,
+		LastSnapshot:         wi.LastSnapshot,
+		LastSnapshotError:    wi.LastSnapshotError,
+		Cameras:              wi.Cameras,
+		Jobs:                 wi.Jobs,
+		AuditEntries:         wi.AuditEntries,
 	}
 }
 
@@ -231,10 +387,18 @@ func (e *Engine) RegisterCamera(cfg CameraConfig) error {
 	if _, ok := e.cameras[cfg.Name]; ok {
 		return fmt.Errorf("core: camera %q already registered", cfg.Name)
 	}
-	e.cameras[cfg.Name] = &camera{
-		cfg:    cfg,
-		ledger: dp.NewLedger(cfg.Name, cfg.Epsilon),
+	led := dp.NewLedger(cfg.Name, cfg.Epsilon)
+	if e.wal != nil {
+		// Crash recovery: replay the camera's persisted spent budget
+		// into the fresh ledger, so a restart cannot refill ε that was
+		// already charged. Segments carry absolute values over
+		// disjoint intervals, so this reproduces the pre-crash spent
+		// function exactly.
+		for _, seg := range e.wal.SpentSegments(cfg.Name) {
+			led.RestoreSpent(seg.Start, seg.End, seg.Eps)
+		}
 	}
+	e.cameras[cfg.Name] = &camera{cfg: cfg, ledger: led}
 	return nil
 }
 

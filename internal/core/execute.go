@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"privid/internal/query"
 	"privid/internal/rel"
 	"privid/internal/sandbox"
+	"privid/internal/store"
 	"privid/internal/table"
 	"privid/internal/video"
 	"privid/internal/vtime"
@@ -80,14 +82,22 @@ type splitPlan struct {
 // releases. On budget exhaustion the query is denied as a whole and
 // nothing is consumed.
 func (e *Engine) Execute(prog *query.Program) (*Result, error) {
-	return e.execute(prog, nil)
+	return e.execute(prog, "", nil)
+}
+
+// ExecuteTagged runs prog like Execute, tagging its WAL charge records
+// with tag — typically a hash of the query source — so the durable
+// ledger ties every ε debit to the query that caused it. An empty tag
+// falls back to a fingerprint of the charge set.
+func (e *Engine) ExecuteTagged(prog *query.Program, tag string) (*Result, error) {
+	return e.execute(prog, tag, nil)
 }
 
 // execute optionally filters which releases are emitted (and paid
 // for); a nil filter keeps everything. Standing queries use the filter
 // to release only newly completed buckets (Appendix D's streaming
 // semantics).
-func (e *Engine) execute(prog *query.Program, keep func(rel.Release) bool) (*Result, error) {
+func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release) bool) (*Result, error) {
 	plans := map[string]*splitPlan{}
 	for _, st := range prog.Splits {
 		p, err := e.resolveSplit(st)
@@ -150,20 +160,87 @@ func (e *Engine) execute(prog *query.Program, keep func(rel.Release) bool) (*Res
 	}
 	sort.Strings(camNames)
 
-	// Admission: check everything, then spend everything (Algorithm 1
-	// lines 1–5, atomic across cameras).
+	// Admission (Algorithm 1 lines 1–5, atomic across cameras), in
+	// three phases so the durable fsync happens outside the engine
+	// lock and concurrent queries' charges share group commits:
+	//
+	//  1. Reserve: under the lock, check every ledger and hold the
+	//     charges as reservations (they block competing queries).
+	//  2. Persist: outside the lock, append every charge plus the
+	//     audit entry to the WAL and fsync. A failure releases the
+	//     reservations exactly and denies the query — the analyst
+	//     never sees a noised result whose charge is not on disk.
+	//  3. Finalize: under the lock, move reservations into the spent
+	//     ledgers, then noise and release.
+	//
+	// A crash between 2 and 3 leaves charges on disk for a result
+	// nobody received: recovery over-charges (at-least-once), never
+	// under-charges.
 	e.mu.Lock()
+	resv := make(map[string]int64, len(camNames))
 	for _, camName := range camNames {
 		cam := e.cameras[camName]
 		rho := cam.cfg.Policy.RhoFrames(cam.cfg.Source.Info().FPS)
-		if err := cam.ledger.Check(charges[camName], rho); err != nil {
-			e.recordAudit(AuditEntry{Cameras: camNames, Denied: true, Reason: err.Error()})
+		id, err := cam.ledger.Reserve(charges[camName], rho)
+		if err != nil {
+			for held, heldID := range resv {
+				e.cameras[held].ledger.Release(heldID)
+			}
+			denied := AuditEntry{At: e.clock(), Cameras: camNames, Denied: true, Reason: err.Error()}
+			e.recordAudit(denied)
 			e.mu.Unlock()
+			e.persistDeniedAudit(denied)
 			return nil, err
 		}
+		resv[camName] = id
 	}
+	// Stamp the audit time under the lock: Options.Now test clocks
+	// need not be goroutine-safe, and every other clock() call site
+	// holds e.mu.
+	at := e.clock()
+	e.mu.Unlock()
+
+	if tag == "" {
+		tag = chargeFingerprint(camNames, charges)
+	}
+	var totalEps float64
+	for _, p := range pendings {
+		totalEps += p.rel.Epsilon
+	}
+	recs := make([]store.Record, 0, len(pendings)+1)
 	for _, camName := range camNames {
-		e.cameras[camName].ledger.Spend(charges[camName])
+		for _, c := range charges[camName] {
+			recs = append(recs, store.Record{Charge: &store.ChargeRecord{
+				Camera: camName,
+				Start:  c.Interval.Start,
+				End:    c.Interval.End,
+				Eps:    c.Eps,
+				Query:  tag,
+			}})
+		}
+	}
+	recs = append(recs, store.Record{Audit: &store.AuditRecord{
+		At:           at,
+		Cameras:      camNames,
+		Releases:     len(pendings),
+		EpsilonSpent: totalEps,
+	}})
+	if err := e.store.Commit(recs...); err != nil {
+		e.mu.Lock()
+		for held, heldID := range resv {
+			e.cameras[held].ledger.Release(heldID)
+		}
+		e.recordAudit(AuditEntry{
+			Cameras: camNames, Denied: true,
+			Reason: "charge not persisted: " + err.Error(),
+		})
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: charge not persisted, result withheld: %w", err)
+	}
+
+	e.mu.Lock()
+	for _, camName := range camNames {
+		e.cameras[camName].ledger.Finalize(resv[camName])
 	}
 	res := &Result{}
 	for _, p := range pendings {
@@ -171,12 +248,40 @@ func (e *Engine) execute(prog *query.Program, keep func(rel.Release) bool) (*Res
 		res.EpsilonSpent += p.rel.Epsilon
 	}
 	e.recordAudit(AuditEntry{
+		At:           at,
 		Cameras:      camNames,
 		Releases:     len(res.Releases),
 		EpsilonSpent: res.EpsilonSpent,
 	})
 	e.mu.Unlock()
 	return res, nil
+}
+
+// persistDeniedAudit records a denial in the durable audit log,
+// best-effort: the denial consumed no budget, so accountability —
+// unlike charges — may tolerate a lost entry when the store itself is
+// failing.
+func (e *Engine) persistDeniedAudit(entry AuditEntry) {
+	_ = e.store.Commit(store.Record{Audit: &store.AuditRecord{
+		At:           entry.At,
+		Cameras:      entry.Cameras,
+		Denied:       true,
+		Reason:       entry.Reason,
+		EpsilonSpent: entry.EpsilonSpent,
+	}})
+}
+
+// chargeFingerprint derives a stable tag for untagged executions from
+// the charge set itself.
+func chargeFingerprint(camNames []string, charges map[string][]dp.Charge) string {
+	h := fnv.New64a()
+	for _, camName := range camNames {
+		fmt.Fprintf(h, "%s:", camName)
+		for _, c := range charges[camName] {
+			fmt.Fprintf(h, "[%d,%d)=%g;", c.Interval.Start, c.Interval.End, c.Eps)
+		}
+	}
+	return fmt.Sprintf("auto-%016x", h.Sum64())
 }
 
 // noiseRelease applies the Laplace mechanism (or noisy-max for ARGMAX)

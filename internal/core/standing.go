@@ -49,7 +49,7 @@ func releaseKey(r rel.Release) string {
 // nothing new is released.
 func (sq *StandingQuery) Advance(now time.Time) (*Result, error) {
 	var newly []string
-	res, err := sq.engine.execute(sq.prog, func(r rel.Release) bool {
+	res, err := sq.engine.execute(sq.prog, "", func(r rel.Release) bool {
 		if r.End.After(now) {
 			return false // bucket still accumulating
 		}

@@ -1,0 +1,161 @@
+package dp
+
+import (
+	"errors"
+	"testing"
+
+	"privid/internal/vtime"
+)
+
+// TestCommitHookOrdering: the hook fires between check and spend, and
+// a hook error aborts the admission with nothing spent — the
+// charge-before-release contract.
+func TestCommitHookOrdering(t *testing.T) {
+	led := NewLedger("camA", 10)
+	var hooked [][]Charge
+	led.SetCommitHook(func(camera string, charges []Charge) error {
+		if camera != "camA" {
+			t.Errorf("hook camera = %q", camera)
+		}
+		hooked = append(hooked, charges)
+		return nil
+	})
+	ch := []Charge{{Interval: vtime.NewInterval(0, 100), Eps: 3}}
+	if err := led.Admit(ch, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(hooked))
+	}
+	if got := led.Remaining(50); got != 7 {
+		t.Errorf("remaining = %v, want 7", got)
+	}
+
+	// A failing hook blocks the spend entirely.
+	failErr := errors.New("disk on fire")
+	led.SetCommitHook(func(string, []Charge) error { return failErr })
+	err := led.Admit(ch, 0)
+	if !errors.Is(err, failErr) {
+		t.Fatalf("admit with failing hook: %v", err)
+	}
+	if got := led.Remaining(50); got != 7 {
+		t.Errorf("failed hook spent budget: remaining = %v, want 7", got)
+	}
+	if len(hooked) != 1 {
+		t.Errorf("failed admission recorded a hook charge")
+	}
+
+	// The hook does not fire on an admission denial.
+	led.SetCommitHook(func(string, []Charge) error {
+		t.Error("hook fired for a denied admission")
+		return nil
+	})
+	big := []Charge{{Interval: vtime.NewInterval(0, 100), Eps: 100}}
+	var ex *ErrBudgetExhausted
+	if err := led.Admit(big, 0); !errors.As(err, &ex) {
+		t.Fatalf("want budget denial, got %v", err)
+	}
+}
+
+// TestReserveFinalizeRelease: reservations block competing admissions
+// and Remaining like spent budget; Release restores the ledger exactly
+// and Finalize converts the reservation into spend.
+func TestReserveFinalizeRelease(t *testing.T) {
+	led := NewLedger("camA", 10)
+	ch := []Charge{{Interval: vtime.NewInterval(0, 100), Eps: 6}}
+	id, err := led.Reserve(ch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := led.Remaining(50); got != 4 {
+		t.Errorf("remaining with reservation = %v, want 4", got)
+	}
+	// A competing query demanding more than the unreserved budget is
+	// denied even though nothing is spent yet.
+	if _, err := led.Reserve([]Charge{{Interval: vtime.NewInterval(50, 60), Eps: 5}}, 0); err == nil {
+		t.Fatal("reservation did not block competing admission")
+	}
+	// Release restores the ledger exactly.
+	led.Release(id)
+	if got := led.Remaining(50); got != 10 {
+		t.Errorf("remaining after release = %v, want 10 exactly", got)
+	}
+	// Reserve + Finalize equals Admit.
+	id, err = led.Reserve(ch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Finalize(id)
+	if got := led.Remaining(50); got != 4 {
+		t.Errorf("remaining after finalize = %v, want 4", got)
+	}
+	// Finalize/Release of unknown handles are no-ops.
+	led.Finalize(999)
+	led.Release(id) // already finalized
+	if got := led.Remaining(50); got != 4 {
+		t.Errorf("unknown-handle ops changed the ledger: %v", got)
+	}
+}
+
+// TestReserveRhoMargin: the admission margin applies to reservations
+// exactly as to Admit.
+func TestReserveRhoMargin(t *testing.T) {
+	led := NewLedger("camA", 1)
+	id, err := led.Reserve([]Charge{{Interval: vtime.NewInterval(0, 100), Eps: 1}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Finalize(id)
+	// A disjoint-but-within-rho interval must be denied: the expanded
+	// intervals overlap.
+	if _, err := led.Reserve([]Charge{{Interval: vtime.NewInterval(105, 120), Eps: 1}}, 10); err == nil {
+		t.Fatal("rho margin ignored for reservations")
+	}
+	// Beyond the margin it fits.
+	if _, err := led.Reserve([]Charge{{Interval: vtime.NewInterval(121, 140), Eps: 1}}, 10); err != nil {
+		t.Fatalf("disjoint interval denied: %v", err)
+	}
+}
+
+// TestRestoreSpent reproduces a recovered ledger bit-for-bit: restoring
+// the segments of a spent function into a fresh ledger yields the same
+// Remaining everywhere.
+func TestRestoreSpent(t *testing.T) {
+	orig := NewLedger("camA", 10)
+	charges := [][]Charge{
+		{{Interval: vtime.NewInterval(0, 100), Eps: 0.3}},
+		{{Interval: vtime.NewInterval(50, 150), Eps: 0.7}},
+		{{Interval: vtime.NewInterval(120, 130), Eps: 1.1}},
+	}
+	for _, ch := range charges {
+		if err := orig.Admit(ch, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restore from the piecewise segments (what a snapshot persists).
+	restored := NewLedger("camA", 10)
+	type seg struct {
+		s, e int64
+		v    float64
+	}
+	var segs []seg
+	prev := 0.0
+	var start int64
+	for f := int64(0); f <= 150; f++ {
+		v := 10 - orig.Remaining(f)
+		if v != prev {
+			if prev != 0 {
+				segs = append(segs, seg{start, f, prev})
+			}
+			start, prev = f, v
+		}
+	}
+	for _, sg := range segs {
+		restored.RestoreSpent(sg.s, sg.e, sg.v)
+	}
+	for f := int64(0); f < 150; f += 7 {
+		if got, want := restored.Remaining(f), orig.Remaining(f); got != want {
+			t.Fatalf("frame %d: restored remaining %v != original %v", f, got, want)
+		}
+	}
+}

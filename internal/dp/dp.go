@@ -71,14 +71,42 @@ func (e *ErrBudgetExhausted) Error() string {
 		e.Camera, e.Frame, e.Remaining, e.Requested)
 }
 
+// CommitHook durably persists admitted charges before they are spent.
+// Admit invokes it between the admission check and the spend: an error
+// aborts the admission, so nothing is spent and no result backed by
+// these charges may be released to the analyst. This is the
+// charge-before-release ordering that makes the privacy guarantee
+// survive process crashes (a persisted charge without a released
+// result only wastes budget; a released result without a persisted
+// charge would refund it on restart).
+type CommitHook func(camera string, charges []Charge) error
+
 // Ledger tracks the privacy budget spent on every frame of one camera.
 // Privid assigns a separate budget of ε to each frame (§6.4); the
 // ledger stores the spent amount as a piecewise-constant function so
 // memory scales with the number of queries, not frames.
+//
+// Ledgers are not safe for concurrent use; the engine serializes
+// access. For callers that must persist charges outside their lock
+// (group commit), the Reserve/Finalize/Release triple splits admission
+// from the durable commit.
 type Ledger struct {
 	camera  string
 	epsilon float64 // per-frame budget εC
 	spent   intervalmap.Map
+	hook    CommitHook
+
+	// reserved holds admitted-but-not-yet-committed charges. They
+	// count against admission and Remaining exactly like spent budget,
+	// but live as charge lists so releasing a reservation restores the
+	// ledger bit-for-bit (no floating-point cancellation residue).
+	reserved []reservation
+	resSeq   int64
+}
+
+type reservation struct {
+	id      int64
+	charges []Charge
 }
 
 // NewLedger returns a fresh ledger with per-frame budget eps.
@@ -89,9 +117,22 @@ func NewLedger(camera string, eps float64) *Ledger {
 // Epsilon returns the per-frame budget εC.
 func (l *Ledger) Epsilon() float64 { return l.epsilon }
 
-// Remaining returns the unspent budget at one frame.
+// SetCommitHook installs the durable-persistence hook Admit invokes
+// between the admission check and the spend.
+func (l *Ledger) SetCommitHook(h CommitHook) { l.hook = h }
+
+// Remaining returns the unspent budget at one frame, counting
+// outstanding reservations as spent.
 func (l *Ledger) Remaining(frame int64) float64 {
-	return l.epsilon - l.spent.Get(frame)
+	r := l.epsilon - l.spent.Get(frame)
+	for _, res := range l.reserved {
+		for _, c := range res.charges {
+			if c.Interval.Contains(frame) {
+				r -= c.Eps
+			}
+		}
+	}
+	return r
 }
 
 // Charge is one release's demand on the ledger: eps over the frame
@@ -110,12 +151,76 @@ type Charge struct {
 //
 // Overlapping charges within one call are summed for the admission
 // check, so a query cannot evade the limit by splitting its demand.
+//
+// When a commit hook is installed, the charges are durably persisted
+// (hook) after the check and before the spend; a hook error aborts the
+// admission with nothing spent, and the caller must not release any
+// result backed by these charges.
 func (l *Ledger) Admit(charges []Charge, rhoFrames int64) error {
 	if err := l.Check(charges, rhoFrames); err != nil {
 		return err
 	}
+	if l.hook != nil {
+		if err := l.hook(l.camera, charges); err != nil {
+			return fmt.Errorf("dp: charge not persisted, nothing spent or released: %w", err)
+		}
+	}
 	l.Spend(charges)
 	return nil
+}
+
+// Reserve admission-checks charges — against spent budget plus every
+// outstanding reservation — and on success holds them as a
+// reservation, returning its handle. The caller persists the charges
+// durably, then calls Finalize (moving the reservation into spent) or
+// Release (dropping it, e.g. when persistence failed). Splitting
+// admission from the durable commit lets an engine persist outside its
+// admission lock so concurrent queries' commits can group into shared
+// fsyncs.
+func (l *Ledger) Reserve(charges []Charge, rhoFrames int64) (int64, error) {
+	if err := l.Check(charges, rhoFrames); err != nil {
+		return 0, err
+	}
+	l.resSeq++
+	l.reserved = append(l.reserved, reservation{
+		id:      l.resSeq,
+		charges: append([]Charge(nil), charges...),
+	})
+	return l.resSeq, nil
+}
+
+// Finalize moves a reservation into the spent ledger. Call only after
+// the charges are durably persisted. Unknown handles are no-ops.
+func (l *Ledger) Finalize(id int64) {
+	for i, res := range l.reserved {
+		if res.id == id {
+			l.Spend(res.charges)
+			l.reserved = append(l.reserved[:i], l.reserved[i+1:]...)
+			return
+		}
+	}
+}
+
+// Release drops a reservation without spending: the budget becomes
+// available again, exactly (the reservation is removed wholesale, so
+// no floating-point residue is left behind). Unknown handles are
+// no-ops.
+func (l *Ledger) Release(id int64) {
+	for i, res := range l.reserved {
+		if res.id == id {
+			l.reserved = append(l.reserved[:i], l.reserved[i+1:]...)
+			return
+		}
+	}
+}
+
+// RestoreSpent adds a recovered spent-budget segment during crash
+// recovery: eps is the absolute spent value over [start, end) as
+// persisted in a snapshot or rebuilt from WAL charges. Restoring
+// non-overlapping segments into a fresh ledger reproduces the
+// pre-crash spent function exactly.
+func (l *Ledger) RestoreSpent(start, end int64, eps float64) {
+	l.spent.AddRange(start, end, eps)
 }
 
 // Check performs the admission test of Admit without committing.
@@ -132,7 +237,46 @@ func (l *Ledger) Check(charges []Charge, rhoFrames int64) error {
 		iv := c.Interval.Expand(rhoFrames)
 		demand.AddRange(iv.Start, iv.End, c.Eps)
 	}
-	// Check: spent + demand <= epsilon everywhere.
+	// Outstanding reservations count as spent: an admitted-but-not-
+	// yet-committed charge must block a competing query just like a
+	// committed one. They are folded into a small overlay map — sized
+	// by the in-flight charges, independent of the ledger's lifetime
+	// history — rather than cloning the whole spent map on the
+	// admission hot path.
+	var pend *intervalmap.Map
+	if len(l.reserved) > 0 {
+		pend = &intervalmap.Map{}
+		for _, res := range l.reserved {
+			for _, c := range res.charges {
+				pend.AddRange(c.Interval.Start, c.Interval.End, c.Eps)
+			}
+		}
+	}
+	// spentMax returns the maximum of spent+reserved over [s, e) and a
+	// real frame attaining it (so denials report a concrete frame).
+	spentMax := func(s, e int64) (float64, int64) {
+		best := math.Inf(-1)
+		frame := s
+		scan := func(ss, se int64, pv float64) {
+			sp := l.spent.Max(ss, se)
+			if sp+pv > best {
+				best = sp + pv
+				frame = ss
+				l.spent.Segments(ss, se, func(fs, _ int64, v float64) {
+					if v == sp {
+						frame = fs
+					}
+				})
+			}
+		}
+		if pend == nil {
+			scan(s, e, 0)
+		} else {
+			pend.Segments(s, e, scan)
+		}
+		return best, frame
+	}
+	// Check: spent + reserved + demand <= epsilon everywhere.
 	var worstFrame int64
 	worst := math.Inf(-1)
 	ok := true
@@ -141,27 +285,25 @@ func (l *Ledger) Check(charges []Charge, rhoFrames int64) error {
 			return
 		}
 		// Within [s,e) the demand is constant; the binding constraint
-		// is the max already-spent value there. Locate the exact
-		// subsegment attaining it so denials report a real frame.
-		sp := l.spent.Max(s, e)
+		// is the max already-spent value there.
+		sp, frame := spentMax(s, e)
 		if sp+d > l.epsilon+1e-12 {
 			ok = false
 			if sp+d > worst {
 				worst = sp + d
-				worstFrame = s
-				l.spent.Segments(s, e, func(ss, _ int64, v float64) {
-					if v == sp {
-						worstFrame = ss
-					}
-				})
+				worstFrame = frame
 			}
 		}
 	})
 	if !ok {
+		pendAt := 0.0
+		if pend != nil {
+			pendAt = pend.Get(worstFrame)
+		}
 		return &ErrBudgetExhausted{
 			Camera:    l.camera,
 			Frame:     worstFrame,
-			Remaining: l.epsilon - l.spent.Get(worstFrame),
+			Remaining: l.epsilon - l.spent.Get(worstFrame) - pendAt,
 			Requested: demand.Get(worstFrame),
 		}
 	}

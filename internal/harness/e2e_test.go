@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSubmitPollResult is the basic end-to-end path: submit over HTTP,
+// poll to completion, read the noised result.
+func TestSubmitPollResult(t *testing.T) {
+	h := Start(t, Config{})
+	job := h.SubmitWait("alice", CountQuery(0, 2, 0))
+	if job.State != "done" {
+		t.Fatalf("job failed: %s", job.Error)
+	}
+	if job.Result == nil || len(job.Result.Releases) != 1 {
+		t.Fatalf("result = %+v", job.Result)
+	}
+	r := job.Result.Releases[0]
+	// 2 minutes at 30 s chunks = 4 chunks, one row each; COUNT(*) raw
+	// is 4, noised around it. Sanity: the release names COUNT and paid
+	// the default budget.
+	if !strings.Contains(r.Desc, "COUNT") {
+		t.Errorf("desc = %q", r.Desc)
+	}
+	if job.Result.EpsilonSpent != 1.0 {
+		t.Errorf("spent = %v, want 1 (default)", job.Result.EpsilonSpent)
+	}
+	if r.NoiseScale <= 0 {
+		t.Errorf("noise scale = %v", r.NoiseScale)
+	}
+	// The result endpoint serves the same outcome.
+	var res Result
+	h.get("/v1/queries/"+job.ID+"/result", http.StatusOK, &res)
+	if len(res.Releases) != 1 || res.Releases[0].Value != r.Value {
+		t.Errorf("result endpoint disagrees: %+v", res)
+	}
+}
+
+// TestBudgetExhaustionOverHTTP drains a camera's budget with repeated
+// queries and asserts the deny behavior end to end: failed job with a
+// budget error, remaining-budget endpoint at zero for the window, and
+// denials consuming nothing.
+func TestBudgetExhaustionOverHTTP(t *testing.T) {
+	h := Start(t, Config{Epsilon: 2.5})
+	q := CountQuery(0, 2, 0) // consumes 1.0 per run
+	for i := 0; i < 2; i++ {
+		if job := h.SubmitWait("alice", q); job.State != "done" {
+			t.Fatalf("query %d failed: %s", i, job.Error)
+		}
+	}
+	if got := h.Budget(600); got != 0.5 {
+		t.Errorf("remaining after 2 queries = %v, want 0.5", got)
+	}
+	job := h.SubmitWait("alice", q)
+	if job.State != "failed" || !strings.Contains(job.Error, "budget exhausted") {
+		t.Fatalf("third query: state=%s err=%q, want budget denial", job.State, job.Error)
+	}
+	// Denial consumed nothing: a cheaper query still fits.
+	if got := h.Budget(600); got != 0.5 {
+		t.Errorf("denial consumed budget: remaining = %v, want 0.5", got)
+	}
+	if job := h.SubmitWait("alice", CountQuery(0, 2, 0.5)); job.State != "done" {
+		t.Fatalf("cheap query after denial failed: %s", job.Error)
+	}
+	if got := h.Budget(600); got != 0 {
+		t.Errorf("remaining = %v, want 0", got)
+	}
+}
+
+// TestAuditLogOverHTTP checks the owner's accountability record after
+// a mixed success/denial workload.
+func TestAuditLogOverHTTP(t *testing.T) {
+	h := Start(t, Config{Epsilon: 1.5})
+	if job := h.SubmitWait("alice", CountQuery(0, 2, 1.0)); job.State != "done" {
+		t.Fatalf("first query failed: %s", job.Error)
+	}
+	if job := h.SubmitWait("bob", CountQuery(0, 2, 1.0)); job.State != "failed" {
+		t.Fatal("second query should be denied")
+	}
+	log := h.Audit()
+	if len(log) != 2 {
+		t.Fatalf("%d audit entries, want 2", len(log))
+	}
+	ok, denied := log[0], log[1]
+	if ok.Denied || ok.Releases != 1 || ok.EpsilonSpent != 1.0 {
+		t.Errorf("success entry = %+v", ok)
+	}
+	if len(ok.Cameras) != 1 || ok.Cameras[0] != Camera {
+		t.Errorf("success entry cameras = %v", ok.Cameras)
+	}
+	if !denied.Denied || denied.EpsilonSpent != 0 || !strings.Contains(denied.Reason, "budget exhausted") {
+		t.Errorf("denial entry = %+v", denied)
+	}
+}
+
+// TestRestartDurability is the acceptance test: spend part of a
+// camera's budget, restart the server from the same StateDir, and the
+// remaining budget must match exactly — while a fresh StateDir
+// restores the full budget. Terminal jobs must also resolve after the
+// restart.
+func TestRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	h := Start(t, Config{StateDir: dir})
+	job := h.SubmitWait("alice", CountQuery(0, 2, 2.5))
+	if job.State != "done" {
+		t.Fatalf("query failed: %s", job.Error)
+	}
+	wantValue := job.Result.Releases[0].Value
+
+	// Record remaining budget at probe frames before the restart.
+	probes := []int64{0, 300, 600, 1199, 1200, 5000}
+	before := map[int64]float64{}
+	for _, f := range probes {
+		before[f] = h.Budget(f)
+	}
+	if before[600] != 7.5 {
+		t.Fatalf("pre-restart remaining = %v, want 7.5", before[600])
+	}
+
+	h.Restart()
+
+	if !h.State().Durable {
+		t.Fatal("restarted stack is not durable")
+	}
+	for _, f := range probes {
+		if got := h.Budget(f); got != before[f] {
+			t.Errorf("frame %d: remaining after restart = %v, want %v exactly", f, got, before[f])
+		}
+	}
+	// The finished job survived the restart with its exact result.
+	recovered, ok := h.Job(job.ID)
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	if recovered.State != "done" || recovered.Result == nil {
+		t.Fatalf("recovered job = %+v", recovered)
+	}
+	if got := recovered.Result.Releases[0].Value; got != wantValue {
+		t.Errorf("recovered result value = %v, want %v", got, wantValue)
+	}
+	// Spending continues from the recovered ledger, not a fresh one.
+	if job := h.SubmitWait("alice", CountQuery(0, 2, 8.0)); job.State != "failed" {
+		t.Fatal("over-budget query admitted after restart — budget was refilled")
+	}
+
+	// A fresh StateDir is a fresh deployment: full budget.
+	h2 := Start(t, Config{StateDir: t.TempDir()})
+	if got := h2.Budget(600); got != 10 {
+		t.Errorf("fresh state dir remaining = %v, want 10", got)
+	}
+}
+
+// TestStateEndpoint sanity-checks /v1/state in both modes.
+func TestStateEndpoint(t *testing.T) {
+	h := Start(t, Config{})
+	if st := h.State(); st.Durable {
+		t.Errorf("in-memory stack reports durable: %+v", st)
+	}
+	hd := Start(t, Config{StateDir: t.TempDir()})
+	hd.SubmitWait("alice", CountQuery(0, 1, 0.5))
+	st := hd.State()
+	if !st.Durable || st.Dir == "" {
+		t.Errorf("state = %+v", st)
+	}
+	if st.WALBytes == 0 || st.Cameras != 1 {
+		t.Errorf("state after charge = %+v", st)
+	}
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"privid/internal/store"
+)
+
+// flakyStore wraps a store and fails Commit on demand.
+type flakyStore struct {
+	inner store.Store
+	fail  atomic.Bool
+}
+
+var errDiskGone = errors.New("disk gone")
+
+func (f *flakyStore) Commit(recs ...store.Record) error {
+	if f.fail.Load() {
+		return errDiskGone
+	}
+	return f.inner.Commit(recs...)
+}
+
+func (f *flakyStore) Close() error { return f.inner.Close() }
+
+// TestWALFailureWithholdsResult is the acceptance fault-injection
+// test: when the WAL commit fails, the analyst receives an error and
+// no noised result, and the reserved budget is returned exactly — a
+// charge is never released un-persisted.
+func TestWALFailureWithholdsResult(t *testing.T) {
+	fs := &flakyStore{inner: store.NullStore{}}
+	h := Start(t, Config{Store: fs})
+
+	if job := h.SubmitWait("alice", CountQuery(0, 2, 1.0)); job.State != "done" {
+		t.Fatalf("healthy query failed: %s", job.Error)
+	}
+	before := h.Budget(600)
+	if before != 9 {
+		t.Fatalf("remaining = %v, want 9", before)
+	}
+
+	fs.fail.Store(true)
+	job := h.SubmitWait("alice", CountQuery(0, 2, 1.0))
+	if job.State != "failed" {
+		t.Fatal("query with failing WAL was released")
+	}
+	if !strings.Contains(job.Error, "charge not persisted") || !strings.Contains(job.Error, "disk gone") {
+		t.Errorf("error = %q, want charge-not-persisted", job.Error)
+	}
+	if job.Result != nil {
+		t.Error("failed persistence still produced a result")
+	}
+	// The result endpoint has nothing to serve either.
+	if rec, ok := h.Job(job.ID); !ok || rec.Result != nil {
+		t.Errorf("job endpoint leaked a result: %+v", rec)
+	}
+	// The reservation was returned exactly: budget is untouched and
+	// fully usable once the store heals.
+	if got := h.Budget(600); got != before {
+		t.Errorf("failed commit moved budget: remaining = %v, want %v", got, before)
+	}
+
+	fs.fail.Store(false)
+	if job := h.SubmitWait("alice", CountQuery(0, 2, 9.0)); job.State != "done" {
+		t.Fatalf("full-remaining query after heal failed: %s", job.Error)
+	}
+	if got := h.Budget(600); got != 0 {
+		t.Errorf("remaining = %v, want 0", got)
+	}
+}
+
+// TestWALFailureAudited: the denial still lands in the in-memory audit
+// log so the owner can see the store failing.
+func TestWALFailureAudited(t *testing.T) {
+	fs := &flakyStore{inner: store.NullStore{}}
+	fs.fail.Store(true)
+	h := Start(t, Config{Store: fs})
+	if job := h.SubmitWait("alice", CountQuery(0, 1, 0.5)); job.State != "failed" {
+		t.Fatal("query released despite failing store")
+	}
+	log := h.Audit()
+	if len(log) != 1 || !log[0].Denied || !strings.Contains(log[0].Reason, "charge not persisted") {
+		t.Fatalf("audit = %+v", log)
+	}
+}

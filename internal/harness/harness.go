@@ -1,0 +1,375 @@
+// Package harness spins up a complete Privid serving stack — engine,
+// scheduler, HTTP API — from one call, for end-to-end tests. It
+// registers a deterministic synthetic camera and a trivial executable
+// so tests exercise the real submit→poll→result path (admission, WAL
+// durability, noise, audit) without caring about scene content.
+//
+//	h := harness.Start(t, harness.Config{})
+//	job := h.SubmitWait("alice", harness.CountQuery(0, 2, 0))
+//
+// With Config.StateDir the stack is durable; Restart simulates a
+// process restart against the same state directory.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"privid/internal/core"
+	"privid/internal/geom"
+	"privid/internal/policy"
+	"privid/internal/scene"
+	"privid/internal/server"
+	"privid/internal/store"
+	"privid/internal/table"
+	"privid/internal/video"
+)
+
+// Camera is the test camera's name.
+const Camera = "cam"
+
+// Config parameterizes the stack. The zero value is a fast in-memory
+// deployment.
+type Config struct {
+	// StateDir enables the durable ledger ("" = in-memory).
+	StateDir string
+	// RepairState truncates a torn WAL on open (core.Options).
+	RepairState bool
+	// Store injects a store directly (fault tests); overrides
+	// StateDir.
+	Store store.Store
+	// Epsilon is the camera's per-frame budget. 0 uses 10.
+	Epsilon float64
+	// DefaultQueryEpsilon is the engine's per-query default. 0 uses
+	// the engine default (1).
+	DefaultQueryEpsilon float64
+	// Minutes is the camera stream length. 0 uses 10.
+	Minutes int
+	// SnapshotEvery is the WAL compaction threshold (0 = store
+	// default, negative disables).
+	SnapshotEvery int
+	// Scheduler overrides scheduler options (zero value = defaults).
+	Scheduler server.SchedulerOptions
+	// Seed drives the noise sampler. 0 uses 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 10
+	}
+	if c.Minutes == 0 {
+		c.Minutes = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// H is a running stack. Engine, Sched and Srv are replaced by Restart.
+type H struct {
+	T      testing.TB
+	Cfg    Config
+	Engine *core.Engine
+	Sched  *server.Scheduler
+	Srv    *httptest.Server
+
+	stopped bool
+}
+
+// streamStart anchors the test camera (matching the repo's test
+// convention: the paper's 6:00 am capture window).
+var streamStart = time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC)
+
+// testScene builds a deterministic scene: one person per minute, each
+// visible 20 s, walking across the frame at 10 fps.
+func testScene(minutes int) *scene.Scene {
+	s := &scene.Scene{
+		Name: Camera, W: 1000, H: 500, FPS: 10,
+		Start:  streamStart,
+		Frames: int64(minutes) * 600,
+	}
+	for i := 0; i < minutes; i++ {
+		enter := int64(i)*600 + 37
+		exit := enter + 200
+		s.Ents = append(s.Ents, &scene.Entity{
+			ID: i, Class: scene.Person,
+			Appearances: []scene.Appearance{{
+				Enter: enter, Exit: exit,
+				Traj: scene.NewPath(enter, exit, 20, 40, 1,
+					scene.Waypoint{T: 0, P: geom.Point{X: 10, Y: 250}},
+					scene.Waypoint{T: 1, P: geom.Point{X: 990, Y: 250}}),
+			}},
+		})
+	}
+	s.BuildIndex()
+	return s
+}
+
+// one is the trivial executable: one row per chunk, value 1.
+func one(*video.Chunk) []table.Row { return []table.Row{{table.N(1)}} }
+
+// Start boots the stack and registers cleanup. Failures are fatal on
+// t. The returned handle's helpers drive the stack over real HTTP.
+func Start(t testing.TB, cfg Config) *H {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	h := &H{T: t, Cfg: cfg}
+	h.boot()
+	t.Cleanup(h.Stop)
+	return h
+}
+
+// boot builds engine, scheduler and HTTP server from h.Cfg.
+func (h *H) boot() {
+	h.T.Helper()
+	engine, err := core.Open(core.Options{
+		Seed:                h.Cfg.Seed,
+		DefaultQueryEpsilon: h.Cfg.DefaultQueryEpsilon,
+		StateDir:            h.Cfg.StateDir,
+		RepairState:         h.Cfg.RepairState,
+		SnapshotEvery:       h.Cfg.SnapshotEvery,
+		Store:               h.Cfg.Store,
+	})
+	if err != nil {
+		h.T.Fatalf("harness: open engine: %v", err)
+	}
+	if err := engine.RegisterCamera(core.CameraConfig{
+		Name:    Camera,
+		Source:  &video.SceneSource{Camera: Camera, Scene: testScene(h.Cfg.Minutes)},
+		Policy:  policy.Policy{Rho: 25 * time.Second, K: 1},
+		Epsilon: h.Cfg.Epsilon,
+	}); err != nil {
+		h.T.Fatalf("harness: register camera: %v", err)
+	}
+	if err := engine.Registry().Register("one", one); err != nil {
+		h.T.Fatalf("harness: register executable: %v", err)
+	}
+	h.Engine = engine
+	h.Sched = server.NewScheduler(engine, h.Cfg.Scheduler)
+	h.Srv = httptest.NewServer(server.NewAPI(engine, h.Sched))
+	h.stopped = false
+}
+
+// Stop shuts the stack down gracefully: HTTP first, then the
+// scheduler (draining jobs), then the engine (final snapshot).
+// Idempotent.
+func (h *H) Stop() {
+	if h.stopped {
+		return
+	}
+	h.stopped = true
+	h.Srv.Close()
+	h.Sched.Close()
+	if err := h.Engine.Close(); err != nil {
+		h.T.Errorf("harness: engine close: %v", err)
+	}
+}
+
+// Restart simulates a process restart: graceful stop, then boot a
+// fresh stack from the same Config (and thus the same StateDir).
+func (h *H) Restart() {
+	h.T.Helper()
+	h.Stop()
+	h.boot()
+}
+
+// tsLiteral renders a minute offset from the stream start as a query
+// timestamp literal (MM-DD-YYYY/H:MMam).
+func tsLiteral(minOffset int) string {
+	ts := streamStart.Add(time.Duration(minOffset) * time.Minute)
+	hour := ts.Hour() % 12
+	if hour == 0 {
+		hour = 12
+	}
+	ampm := "am"
+	if ts.Hour() >= 12 {
+		ampm = "pm"
+	}
+	return fmt.Sprintf("%02d-%02d-%d/%d:%02d%s",
+		int(ts.Month()), ts.Day(), ts.Year(), hour, ts.Minute(), ampm)
+}
+
+// CountQuery returns a COUNT(*) program over [beginMin, endMin)
+// minutes of the test camera in 30 s chunks, consuming eps (0 = the
+// engine's per-query default).
+func CountQuery(beginMin, endMin int, eps float64) string {
+	consuming := ""
+	if eps > 0 {
+		consuming = fmt.Sprintf(" CONSUMING %g", eps)
+	}
+	return fmt.Sprintf(`
+SPLIT %s BEGIN %s END %s BY TIME 30sec STRIDE 0sec INTO chunks;
+PROCESS chunks USING one TIMEOUT 5sec PRODUCING 2 ROWS
+  WITH SCHEMA (v:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t%s;`, Camera, tsLiteral(beginMin), tsLiteral(endMin), consuming)
+}
+
+// --- HTTP client helpers (wire structs mirror internal/server) ---
+
+// Release is one noised release as served over HTTP.
+type Release struct {
+	Desc        string  `json:"desc"`
+	Value       float64 `json:"value"`
+	Epsilon     float64 `json:"epsilon"`
+	Sensitivity float64 `json:"sensitivity"`
+	NoiseScale  float64 `json:"noise_scale"`
+}
+
+// Result is a finished query's outcome as served over HTTP.
+type Result struct {
+	Releases     []Release `json:"releases"`
+	EpsilonSpent float64   `json:"epsilon_spent"`
+}
+
+// Job is a job snapshot as served over HTTP.
+type Job struct {
+	ID      string  `json:"id"`
+	Analyst string  `json:"analyst"`
+	State   string  `json:"state"`
+	Error   string  `json:"error,omitempty"`
+	Result  *Result `json:"result,omitempty"`
+}
+
+// AuditEntry is one audit-log entry as served over HTTP.
+type AuditEntry struct {
+	Cameras      []string `json:"cameras"`
+	Releases     int      `json:"releases"`
+	EpsilonSpent float64  `json:"epsilon_spent"`
+	Denied       bool     `json:"denied,omitempty"`
+	Reason       string   `json:"reason,omitempty"`
+}
+
+// StateInfo is the durable-store status as served over HTTP.
+type StateInfo struct {
+	Durable      bool   `json:"durable"`
+	Dir          string `json:"dir,omitempty"`
+	WALBytes     int64  `json:"wal_bytes,omitempty"`
+	Snapshots    int64  `json:"snapshots,omitempty"`
+	Cameras      int    `json:"cameras,omitempty"`
+	Jobs         int    `json:"jobs,omitempty"`
+	AuditEntries int    `json:"audit_entries,omitempty"`
+}
+
+// get decodes a GET endpoint into out, asserting the status code.
+func (h *H) get(path string, wantStatus int, out any) {
+	h.T.Helper()
+	resp, err := http.Get(h.Srv.URL + path)
+	if err != nil {
+		h.T.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		h.T.Fatalf("GET %s: status %d, want %d (body: %s)", path, resp.StatusCode, wantStatus, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			h.T.Fatalf("GET %s: decode: %v (body: %s)", path, err, body)
+		}
+	}
+}
+
+// Submit posts a query for analyst and returns the job ID (fatal on
+// refusal).
+func (h *H) Submit(analyst, query string) string {
+	h.T.Helper()
+	id, status, errMsg := h.TrySubmit(analyst, query)
+	if status != http.StatusAccepted {
+		h.T.Fatalf("submit: status %d: %s", status, errMsg)
+	}
+	return id
+}
+
+// TrySubmit posts a query and returns (jobID, HTTP status, error
+// message) without failing the test, for tests probing refusals.
+func (h *H) TrySubmit(analyst, query string) (id string, status int, errMsg string) {
+	h.T.Helper()
+	body, _ := json.Marshal(map[string]string{"analyst": analyst, "query": query})
+	resp, err := http.Post(h.Srv.URL+"/v1/queries", "application/json", bytes.NewReader(body))
+	if err != nil {
+		h.T.Fatalf("POST /v1/queries: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var decoded struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(raw, &decoded)
+	return decoded.ID, resp.StatusCode, decoded.Error
+}
+
+// Wait polls a job until it reaches a terminal state (or times out).
+func (h *H) Wait(id string) Job {
+	h.T.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var j Job
+		h.get("/v1/queries/"+id, http.StatusOK, &j)
+		if j.State == "done" || j.State == "failed" {
+			return j
+		}
+		if time.Now().After(deadline) {
+			h.T.Fatalf("job %s stuck in state %s", id, j.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// SubmitWait submits a query and waits for its terminal snapshot.
+func (h *H) SubmitWait(analyst, query string) Job {
+	h.T.Helper()
+	return h.Wait(h.Submit(analyst, query))
+}
+
+// Job fetches one job snapshot, reporting whether it exists.
+func (h *H) Job(id string) (Job, bool) {
+	h.T.Helper()
+	resp, err := http.Get(h.Srv.URL + "/v1/queries/" + id)
+	if err != nil {
+		h.T.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return Job{}, false
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		h.T.Fatalf("decode job: %v", err)
+	}
+	return j, true
+}
+
+// Budget returns the camera's remaining budget at a frame, over HTTP.
+func (h *H) Budget(frame int64) float64 {
+	h.T.Helper()
+	var out struct {
+		Remaining float64 `json:"remaining"`
+	}
+	h.get(fmt.Sprintf("/v1/cameras/%s/budget?frame=%d", Camera, frame), http.StatusOK, &out)
+	return out.Remaining
+}
+
+// Audit fetches the owner's audit log over HTTP.
+func (h *H) Audit() []AuditEntry {
+	h.T.Helper()
+	var out []AuditEntry
+	h.get("/v1/audit", http.StatusOK, &out)
+	return out
+}
+
+// State fetches the durable-store status over HTTP.
+func (h *H) State() StateInfo {
+	h.T.Helper()
+	var out StateInfo
+	h.get("/v1/state", http.StatusOK, &out)
+	return out
+}

@@ -143,6 +143,16 @@ func (m *Map) Segments(start, end int64, fn func(s, e int64, v float64)) {
 // memory accounting).
 func (m *Map) Breakpoints() int { return len(m.breaks) }
 
+// Bounds returns the first and last stored breakpoint — every key
+// outside [lo, hi) maps to the trailing segment's value (zero for maps
+// built from bounded AddRange calls). Empty maps report (0, 0).
+func (m *Map) Bounds() (lo, hi int64) {
+	if len(m.breaks) == 0 {
+		return 0, 0
+	}
+	return m.breaks[0], m.breaks[len(m.breaks)-1]
+}
+
 // coalesce merges adjacent segments with equal values and drops a
 // leading zero segment, keeping the representation canonical.
 func (m *Map) coalesce() {

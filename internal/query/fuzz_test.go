@@ -73,3 +73,22 @@ func TestLexNeverPanics(t *testing.T) {
 		}()
 	}
 }
+
+// FuzzParse is the native fuzz target behind TestParseNeverPanics:
+// whatever bytes arrive over the wire as a query program, Parse must
+// return a program or an error, never panic. CI runs it briefly on
+// every push (-fuzz FuzzParse -fuzztime 10s).
+func FuzzParse(f *testing.F) {
+	f.Add(`
+SPLIT camA BEGIN 01-01-2021/12:00am END 01-02-2021/12:00am
+  BY TIME 5sec STRIDE 0sec INTO c;
+PROCESS c USING exe TIMEOUT 1sec PRODUCING 5 ROWS
+  WITH SCHEMA (n:NUMBER=0, tag:STRING="") INTO t;
+SELECT COUNT(*) FROM t;`)
+	f.Add("SELECT COUNT(*) FROM t;")
+	f.Add("SPLIT BEGIN END")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src)
+	})
+}

@@ -25,6 +25,7 @@ import (
 //	GET  /v1/executables               registered PROCESS executables
 //	GET  /v1/audit                     owner's audit log
 //	GET  /v1/stats                     scheduler load + chunk-cache stats
+//	GET  /v1/state                     durable-store status (WAL/snapshots)
 type API struct {
 	engine *core.Engine
 	sched  *Scheduler
@@ -44,6 +45,7 @@ func NewAPI(engine *core.Engine, sched *Scheduler) *API {
 	a.mux.HandleFunc("GET /v1/executables", a.listExecutables)
 	a.mux.HandleFunc("GET /v1/audit", a.getAudit)
 	a.mux.HandleFunc("GET /v1/stats", a.getStats)
+	a.mux.HandleFunc("GET /v1/state", a.getState)
 	return a
 }
 
@@ -212,6 +214,12 @@ func (a *API) getResult(w http.ResponseWriter, r *http.Request) {
 	}
 	switch info.State {
 	case JobDone:
+		if info.Result == nil {
+			// Defensive: a done job always carries a result in this
+			// process; never nil-deref if an invariant slips.
+			writeError(w, http.StatusInternalServerError, errors.New("server: result unavailable"))
+			return
+		}
 		writeJSON(w, http.StatusOK, toResultJSON(info.Result))
 	case JobFailed:
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{
@@ -307,6 +315,41 @@ func (a *API) getAudit(w http.ResponseWriter, _ *http.Request) {
 			Denied:       e.Denied,
 			Reason:       e.Reason,
 		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// stateJSON is the wire form of the engine's durable-store status.
+type stateJSON struct {
+	Durable              bool   `json:"durable"`
+	Dir                  string `json:"dir,omitempty"`
+	Generation           int64  `json:"generation,omitempty"`
+	WALBytes             int64  `json:"wal_bytes,omitempty"`
+	RecordsSinceSnapshot int64  `json:"records_since_snapshot,omitempty"`
+	Snapshots            int64  `json:"snapshots,omitempty"`
+	LastSnapshot         string `json:"last_snapshot,omitempty"`
+	LastSnapshotError    string `json:"last_snapshot_error,omitempty"`
+	Cameras              int    `json:"cameras,omitempty"`
+	Jobs                 int    `json:"jobs,omitempty"`
+	AuditEntries         int    `json:"audit_entries,omitempty"`
+}
+
+func (a *API) getState(w http.ResponseWriter, _ *http.Request) {
+	si := a.engine.StateInfo()
+	out := stateJSON{
+		Durable:              si.Durable,
+		Dir:                  si.Dir,
+		Generation:           si.Generation,
+		WALBytes:             si.WALBytes,
+		RecordsSinceSnapshot: si.RecordsSinceSnapshot,
+		Snapshots:            si.Snapshots,
+		LastSnapshotError:    si.LastSnapshotError,
+		Cameras:              si.Cameras,
+		Jobs:                 si.Jobs,
+		AuditEntries:         si.AuditEntries,
+	}
+	if !si.LastSnapshot.IsZero() {
+		out.LastSnapshot = si.LastSnapshot.Format(time.RFC3339Nano)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

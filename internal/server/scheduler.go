@@ -22,14 +22,19 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"privid/internal/core"
 	"privid/internal/query"
+	"privid/internal/store"
 )
 
 // SchedulerOptions configure a Scheduler.
@@ -113,6 +118,15 @@ var (
 type job struct {
 	info JobInfo
 	prog *query.Program
+	// qhash tags the job's WAL charge records (sha256 of the source,
+	// truncated) so the durable ledger ties ε debits to queries.
+	qhash string
+}
+
+// queryHash derives the WAL tag for a query source.
+func queryHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return fmt.Sprintf("%x", sum[:8])
 }
 
 // Scheduler runs analyst queries asynchronously on a worker pool over
@@ -120,8 +134,12 @@ type job struct {
 type Scheduler struct {
 	engine *core.Engine
 	opts   SchedulerOptions
-	queue  chan *job
-	wg     sync.WaitGroup
+	// store persists terminal jobs (the engine's durable store;
+	// store.NullStore when durability is off), so an analyst polling
+	// after a server restart still gets their result.
+	store store.Store
+	queue chan *job
+	wg    sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -136,21 +154,82 @@ type Scheduler struct {
 }
 
 // NewScheduler starts a scheduler over the engine. Call Close to drain
-// the pool.
+// the pool. When the engine has a durable state dir, terminal jobs
+// recovered from it become immediately pollable (their results were
+// persisted before the previous process exited), and newly finished
+// jobs are persisted in turn.
 func NewScheduler(engine *core.Engine, opts SchedulerOptions) *Scheduler {
 	opts = opts.withDefaults()
 	s := &Scheduler{
 		engine:   engine,
 		opts:     opts,
+		store:    engine.StateStore(),
 		queue:    make(chan *job, opts.QueueDepth),
 		jobs:     map[string]*job{},
 		inflight: map[string]int{},
 	}
+	for _, jr := range engine.RecoveredJobs() {
+		s.adoptRecovered(jr)
+	}
+	s.pruneLocked() // bound recovered history like live history
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// adoptRecovered installs one persisted terminal job so polls resolve
+// across restarts. Called before the workers start, so no locking.
+func (s *Scheduler) adoptRecovered(jr store.JobRecord) {
+	state := JobState(jr.State)
+	if state != JobDone && state != JobFailed {
+		return
+	}
+	if _, dup := s.jobs[jr.ID]; dup {
+		return
+	}
+	info := JobInfo{
+		ID:          jr.ID,
+		Analyst:     jr.Analyst,
+		Query:       jr.Query,
+		State:       state,
+		Error:       jr.Error,
+		SubmittedAt: jr.SubmittedAt,
+		StartedAt:   jr.StartedAt,
+		FinishedAt:  jr.FinishedAt,
+	}
+	if state == JobDone {
+		// The charge behind this result is durable regardless; a
+		// missing or undecodable payload degrades to a resolvable-
+		// but-failed job rather than a recovery failure (or a "done"
+		// job whose result endpoint would have nothing to serve).
+		var res core.Result
+		switch {
+		case len(jr.Result) == 0:
+			info.State = JobFailed
+			info.Error = "server: persisted result missing"
+		case json.Unmarshal(jr.Result, &res) != nil:
+			info.State = JobFailed
+			info.Error = "server: persisted result undecodable"
+		default:
+			info.Result = &res
+		}
+	}
+	s.jobs[jr.ID] = &job{info: info}
+	s.order = append(s.order, jr.ID)
+	s.finished++
+	switch info.State {
+	case JobDone:
+		s.doneTotal++
+	case JobFailed:
+		s.failedTotal++
+	}
+	// Resume job numbering after the recovered tail so IDs stay
+	// unique across restarts.
+	if n, err := strconv.ParseInt(strings.TrimPrefix(jr.ID, "q-"), 10, 64); err == nil && n > s.seq {
+		s.seq = n
+	}
 }
 
 func (s *Scheduler) now() time.Time {
@@ -168,6 +247,16 @@ func (s *Scheduler) now() time.Time {
 func (s *Scheduler) Submit(analyst, src string) (string, error) {
 	if analyst == "" {
 		return "", fmt.Errorf("server: analyst name required")
+	}
+	// Fast-fail on a closed scheduler before paying for a parse; the
+	// authoritative check below re-tests under the lock, so Submit
+	// racing Close still gets a clean ErrClosed, never a send on a
+	// closed queue.
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return "", ErrClosed
 	}
 	prog, err := query.Parse(src)
 	if err != nil {
@@ -196,7 +285,8 @@ func (s *Scheduler) Submit(analyst, src string) (string, error) {
 			State:       JobQueued,
 			SubmittedAt: s.now(),
 		},
-		prog: prog,
+		prog:  prog,
+		qhash: queryHash(src),
 	}
 	s.jobs[j.info.ID] = j
 	s.order = append(s.order, j.info.ID)
@@ -217,7 +307,7 @@ func (s *Scheduler) worker() {
 		j.info.StartedAt = s.now()
 		s.mu.Unlock()
 
-		res, err := s.engine.Execute(j.prog)
+		res, err := s.engine.ExecuteTagged(j.prog, j.qhash)
 
 		s.mu.Lock()
 		j.info.FinishedAt = s.now()
@@ -236,8 +326,36 @@ func (s *Scheduler) worker() {
 		}
 		s.finished++
 		s.pruneLocked()
+		rec := terminalRecord(j.info)
 		s.mu.Unlock()
+
+		// Persist the terminal job outside the lock so polls are not
+		// blocked on an fsync. Best-effort: the privacy-critical
+		// charge was already fsynced inside Execute; losing the job
+		// record merely means a post-restart poll cannot resolve it.
+		_ = s.store.Commit(rec)
 	}
+}
+
+// terminalRecord converts a terminal job snapshot into its durable
+// form. Caller holds s.mu (reads the stable terminal state).
+func terminalRecord(info JobInfo) store.Record {
+	jr := store.JobRecord{
+		ID:          info.ID,
+		Analyst:     info.Analyst,
+		Query:       info.Query,
+		State:       string(info.State),
+		Error:       info.Error,
+		SubmittedAt: info.SubmittedAt,
+		StartedAt:   info.StartedAt,
+		FinishedAt:  info.FinishedAt,
+	}
+	if info.Result != nil {
+		if b, err := json.Marshal(info.Result); err == nil {
+			jr.Result = b
+		}
+	}
+	return store.Record{Job: &jr}
 }
 
 // pruneLocked drops the oldest terminal jobs beyond MaxFinishedJobs so
@@ -291,7 +409,11 @@ func (s *Scheduler) Jobs(analyst string) []JobInfo {
 
 // Stats is a snapshot of scheduler load. Done and Failed are lifetime
 // totals (they keep counting after old terminal jobs are pruned), so
-// Queued+Running+Done+Failed always equals Submitted.
+// within one process lifetime Queued+Running+Done+Failed equals
+// Submitted. After a restart with a durable state dir, Submitted
+// resumes from the highest recovered job ID while Done/Failed count
+// only the recovered-and-retained jobs, so the identity is approximate
+// across restarts.
 type Stats struct {
 	Workers   int
 	Queued    int

@@ -1,0 +1,83 @@
+package store_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"privid/internal/dp"
+	"privid/internal/store"
+	"privid/internal/vtime"
+)
+
+// The LedgerCommit benchmarks measure the cost of durability on the
+// admission hot path: 16 concurrent submitters (the scheduler's
+// worker-pool scale), each owning one camera's ledger with a commit
+// hook into a shared store, admitting one charge per iteration.
+//
+//	Null       — store.NullStore: the pre-durability in-memory cost.
+//	WAL        — WAL with one fsync per charge (naive durability).
+//	WALGrouped — WAL with group commit: concurrent charges batch into
+//	             shared fsyncs, amortizing the sync across submitters.
+
+const benchSubmitters = 16
+
+func benchLedgerCommit(b *testing.B, mk func(b *testing.B) store.Store) {
+	st := mk(b)
+	defer st.Close()
+	var iter int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for s := 0; s < benchSubmitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			led := dp.NewLedger("cam", 1e18) // never exhausts
+			led.SetCommitHook(func(camera string, charges []dp.Charge) error {
+				recs := make([]store.Record, len(charges))
+				for i, c := range charges {
+					recs[i] = store.Record{Charge: &store.ChargeRecord{
+						Camera: camera,
+						Start:  c.Interval.Start,
+						End:    c.Interval.End,
+						Eps:    c.Eps,
+						Query:  "bench",
+					}}
+				}
+				return st.Commit(recs...)
+			})
+			charges := []dp.Charge{{Interval: vtime.NewInterval(0, 100), Eps: 1e-9}}
+			for atomic.AddInt64(&iter, 1) <= int64(b.N) {
+				if err := led.Admit(charges, 0); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+func BenchmarkLedgerCommit_Null(b *testing.B) {
+	benchLedgerCommit(b, func(b *testing.B) store.Store { return store.NullStore{} })
+}
+
+func BenchmarkLedgerCommit_WAL(b *testing.B) {
+	benchLedgerCommit(b, func(b *testing.B) store.Store {
+		w, err := store.Open(b.TempDir(), store.Options{SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return w
+	})
+}
+
+func BenchmarkLedgerCommit_WALGrouped(b *testing.B) {
+	benchLedgerCommit(b, func(b *testing.B) store.Store {
+		w, err := store.Open(b.TempDir(), store.Options{GroupCommit: true, SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return w
+	})
+}

@@ -1,0 +1,52 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALDecode throws arbitrary bytes at the WAL decoder. Whatever a
+// half-written disk hands us, DecodeAll must never panic, must report
+// a valid-prefix offset within bounds, and the prefix it blesses must
+// itself decode cleanly (Repair truncates to exactly that offset).
+func FuzzWALDecode(f *testing.F) {
+	// Seed corpus: a well-formed log, truncations of it, and noise.
+	valid, err := encodeRecords([]Record{
+		{Charge: &ChargeRecord{Camera: "camA", Start: 0, End: 100, Eps: 0.5, Query: "q"}},
+		{Audit: &AuditRecord{Cameras: []string{"camA"}, Releases: 1, EpsilonSpent: 0.5}},
+		{Job: &JobRecord{ID: "q-000001", Analyst: "a", State: "done"}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	full := append([]byte(walMagic), valid...)
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+	f.Add(full[:len(walMagic)])
+	f.Add([]byte(walMagic))
+	f.Add([]byte{})
+	f.Add([]byte("not a wal at all"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, off, err := DecodeAll(data)
+		if off < 0 || off > int64(len(data)) {
+			t.Fatalf("valid-prefix offset %d out of bounds [0,%d]", off, len(data))
+		}
+		if err == nil && off != int64(len(data)) {
+			t.Fatalf("clean decode stopped early: off=%d len=%d", off, len(data))
+		}
+		if err != nil && off >= int64(len(walMagic)) {
+			// The blessed prefix must decode cleanly with the same
+			// records — this is what Repair leaves behind.
+			recs2, off2, err2 := DecodeAll(data[:off])
+			if err2 != nil {
+				t.Fatalf("blessed prefix does not re-decode: %v", err2)
+			}
+			if off2 != off || len(recs2) != len(recs) {
+				t.Fatalf("prefix re-decode mismatch: off %d vs %d, recs %d vs %d",
+					off2, off, len(recs2), len(recs))
+			}
+		}
+	})
+}

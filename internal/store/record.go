@@ -1,0 +1,121 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// walMagic heads every WAL file; a file without it is not a Privid WAL.
+const walMagic = "PRIVIDWAL1\n"
+
+// maxRecordBytes caps one record's payload. Nothing legitimate (a
+// charge, an audit entry, a job with a bounded query and result)
+// approaches this; a larger length prefix means corruption.
+const maxRecordBytes = 8 << 20
+
+// frameHeaderLen is the per-record framing overhead: a uint32 payload
+// length followed by a uint32 CRC32 (IEEE) of the payload, both
+// little-endian.
+const frameHeaderLen = 8
+
+// CorruptError reports a torn or corrupt WAL. Offset is the byte
+// length of the valid prefix: every record before it decoded cleanly,
+// and Repair truncates the file to exactly this offset.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: corrupt WAL %s at offset %d: %s (run repair to truncate to the last valid record)",
+		e.Path, e.Offset, e.Reason)
+}
+
+// appendFrame encodes rec and appends its framed bytes to buf.
+func appendFrame(buf []byte, rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("store: record payload %d bytes exceeds limit %d", len(payload), maxRecordBytes)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	return append(append(buf, hdr[:]...), payload...), nil
+}
+
+// encodeRecords frames a batch of records into one contiguous buffer
+// (one Commit's append unit).
+func encodeRecords(recs []Record) ([]byte, error) {
+	var buf []byte
+	for _, rec := range recs {
+		var err error
+		buf, err = appendFrame(buf, rec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeAll decodes a WAL image (magic header plus framed records). It
+// returns the records of the valid prefix and that prefix's byte
+// length. A torn or corrupt tail is reported as a *CorruptError whose
+// Offset equals the returned length; the records decoded before the
+// corruption are still returned. DecodeAll never panics, whatever the
+// input (see FuzzWALDecode).
+func DecodeAll(data []byte) ([]Record, int64, error) {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, 0, &CorruptError{Offset: 0, Reason: "missing WAL magic header"}
+	}
+	off := int64(len(walMagic))
+	var recs []Record
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return recs, off, &CorruptError{Offset: off, Reason: "torn frame header"}
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxRecordBytes {
+			return recs, off, &CorruptError{Offset: off, Reason: fmt.Sprintf("record length %d exceeds limit", n)}
+		}
+		if int64(len(rest)) < frameHeaderLen+int64(n) {
+			return recs, off, &CorruptError{Offset: off, Reason: "torn record body"}
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int64(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, &CorruptError{Offset: off, Reason: "checksum mismatch"}
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off, &CorruptError{Offset: off, Reason: "undecodable payload: " + err.Error()}
+		}
+		if countSet(rec) != 1 {
+			return recs, off, &CorruptError{Offset: off, Reason: "record must set exactly one field"}
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + int64(n)
+	}
+	return recs, off, nil
+}
+
+func countSet(rec Record) int {
+	n := 0
+	if rec.Charge != nil {
+		n++
+	}
+	if rec.Audit != nil {
+		n++
+	}
+	if rec.Job != nil {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// faultyFile wraps the WAL's file handle and fails on command,
+// simulating a crash mid-commit: short writes (torn records), write
+// errors, failing fsyncs, and a failing rollback truncate (so the torn
+// bytes stay on disk, as after a power loss).
+type faultyFile struct {
+	File
+	// failWriteAfter injects a write error after passing this many
+	// bytes of the next write through (-1 = writes succeed).
+	failWriteAfter int
+	// failSync makes Sync return an error (the bytes of prior writes
+	// may or may not be durable — here they are, which recovery must
+	// tolerate).
+	failSync bool
+	// failTruncate makes the post-error rollback fail, leaving the
+	// torn record on disk.
+	failTruncate bool
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (f *faultyFile) Write(p []byte) (int, error) {
+	if f.failWriteAfter < 0 {
+		return f.File.Write(p)
+	}
+	n := f.failWriteAfter
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > 0 {
+		if _, err := f.File.Write(p[:n]); err != nil {
+			return 0, err
+		}
+		f.File.Sync() // make the torn prefix durable, like a power cut mid-page
+	}
+	return n, errInjected
+}
+
+func (f *faultyFile) Sync() error {
+	if f.failSync {
+		return errInjected
+	}
+	return f.File.Sync()
+}
+
+func (f *faultyFile) Truncate(size int64) error {
+	if f.failTruncate {
+		return errInjected
+	}
+	return f.File.Truncate(size)
+}
+
+// TestCrashRecoveryMatrix is the satellite crash matrix: commit some
+// charges, inject an I/O failure mid-commit, "crash" (abandon the WAL
+// without Close), restart from the same directory (repairing if the
+// tail is torn), and assert the charge-at-least-once invariant — the
+// recovered remaining budget of every frame never *exceeds* what the
+// pre-crash process acknowledged, i.e. recovered spent >= acked spent.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	const eps = 10.0
+	cases := []struct {
+		name  string
+		fault func(*faultyFile)
+	}{
+		{"write-fails-immediately", func(f *faultyFile) { f.failWriteAfter = 0 }},
+		{"write-torn-midrecord", func(f *faultyFile) { f.failWriteAfter = 13; f.failTruncate = true }},
+		{"write-torn-rollback-ok", func(f *faultyFile) { f.failWriteAfter = 13 }},
+		{"fsync-fails-bytes-durable", func(f *faultyFile) { f.failSync = true }},
+	}
+	for _, group := range []bool{false, true} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("group=%v/%s", group, tc.name), func(t *testing.T) {
+				dir := t.TempDir()
+				var ff *faultyFile
+				w, err := Open(dir, Options{
+					GroupCommit: group,
+					WrapFile: func(f File) File {
+						ff = &faultyFile{File: f, failWriteAfter: -1}
+						return ff
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Acked spent: only charges whose Commit returned nil.
+				acked := map[int64]float64{}
+				commit := func(s, e int64, c float64) bool {
+					if err := w.Commit(charge("camA", s, e, c)); err != nil {
+						return false
+					}
+					for fr := s; fr < e; fr++ {
+						acked[fr] += c
+					}
+					return true
+				}
+				for i := int64(0); i < 5; i++ {
+					if !commit(i*10, i*10+20, 0.5) {
+						t.Fatal("healthy commit failed")
+					}
+				}
+				tc.fault(ff)
+				if commit(0, 100, 1.0) {
+					t.Fatal("faulty commit unexpectedly acked")
+				}
+
+				// Crash: abandon w. Restart, repairing a torn tail if
+				// the store refuses to open.
+				w2, err := Open(dir, Options{})
+				if err != nil {
+					var ce *CorruptError
+					if !errors.As(err, &ce) {
+						t.Fatalf("reopen: %v", err)
+					}
+					if _, err := Repair(dir); err != nil {
+						t.Fatalf("repair: %v", err)
+					}
+					if w2, err = Open(dir, Options{}); err != nil {
+						t.Fatalf("reopen after repair: %v", err)
+					}
+				}
+				defer w2.Close()
+				st, err := ReadState(dir, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for fr := int64(0); fr < 120; fr++ {
+					recovered := st.Spent("camA", fr)
+					if recovered < acked[fr] {
+						t.Fatalf("frame %d: recovered spent %v < acked %v — restart refilled budget (remaining %v > %v)",
+							fr, recovered, acked[fr], eps-recovered, eps-acked[fr])
+					}
+				}
+				// The store self-heals (rolled back) or poisoned
+				// itself; either way the restarted store must accept
+				// new commits.
+				if err := w2.Commit(charge("camA", 0, 1, 0.1)); err != nil {
+					t.Fatalf("post-recovery commit: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultyCommitThenHealedCommit: after a rolled-back torn write the
+// same WAL (no restart) must keep working, and the failed commit's
+// bytes must not corrupt later records.
+func TestFaultyCommitThenHealedCommit(t *testing.T) {
+	dir := t.TempDir()
+	var ff *faultyFile
+	w, err := Open(dir, Options{
+		WrapFile: func(f File) File {
+			ff = &faultyFile{File: f, failWriteAfter: -1}
+			return ff
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(charge("camA", 0, 10, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	ff.failWriteAfter = 7 // torn write, rollback succeeds
+	if err := w.Commit(charge("camA", 0, 10, 1.0)); err == nil {
+		t.Fatal("faulty commit acked")
+	}
+	ff.failWriteAfter = -1
+	if err := w.Commit(charge("camA", 0, 10, 0.25)); err != nil {
+		t.Fatalf("healed commit: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadState(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Spent("camA", 5); got != 0.75 {
+		t.Errorf("spent = %v, want 0.75 (0.5 + 0.25, failed 1.0 rolled back)", got)
+	}
+}

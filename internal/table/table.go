@@ -8,6 +8,7 @@
 package table
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -97,6 +98,39 @@ func (v Value) Key() string {
 
 // String implements fmt.Stringer.
 func (v Value) String() string { return v.Str() }
+
+// wireValue is Value's JSON form: {"t":"n","n":…} or {"t":"s","s":…}.
+type wireValue struct {
+	T string  `json:"t"`
+	S string  `json:"s,omitempty"`
+	N float64 `json:"n,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler so values survive persistence
+// (the serving layer's durable job results) without losing their type.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.typ == DNumber {
+		return json.Marshal(wireValue{T: "n", N: v.n})
+	}
+	return json.Marshal(wireValue{T: "s", S: v.s})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	var w wireValue
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	switch w.T {
+	case "n":
+		*v = N(w.N)
+	case "s":
+		*v = S(w.S)
+	default:
+		return fmt.Errorf("table: unknown value type %q", w.T)
+	}
+	return nil
+}
 
 // Coerce forces v to type t, converting content as needed.
 func (v Value) Coerce(t DType) Value {

@@ -179,8 +179,22 @@ func NewAPIHandler(e *Engine, s *QueryScheduler) http.Handler {
 // Appendix D.
 type StandingQuery = core.StandingQuery
 
-// New returns an engine with no cameras registered.
+// New returns an engine with no cameras registered. It panics when
+// Options.StateDir recovery fails; use Open to handle that gracefully.
 func New(opts Options) *Engine { return core.New(opts) }
+
+// Open returns an engine with no cameras registered, recovering the
+// durable privacy ledger from Options.StateDir when set: per-camera
+// spent budgets, the audit log and terminal job records all survive
+// restarts, and every new charge is fsynced to the write-ahead log
+// before its noised result is released. Call Engine.Close on shutdown
+// to compact the log into a snapshot. See DESIGN.md §"Durability & the
+// privacy ledger".
+func Open(opts Options) (*Engine, error) { return core.Open(opts) }
+
+// StateInfo describes the engine's durable state layer
+// (Engine.StateInfo, the server's /v1/state endpoint).
+type StateInfo = core.StateInfo
 
 // Parse parses and statically validates a query program.
 func Parse(src string) (*Program, error) { return query.Parse(src) }
