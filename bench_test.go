@@ -9,6 +9,7 @@
 package privid_test
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -210,6 +211,78 @@ func BenchmarkChunkCache_Cold(b *testing.B) { runCacheBench(b, false) }
 // BenchmarkChunkCache_Warm repeats the identical window against a
 // populated cache: zero sandbox executions per query.
 func BenchmarkChunkCache_Warm(b *testing.B) { runCacheBench(b, true) }
+
+// Multi-camera benchmarks: the identical 4-camera fleet query executed
+// serially (camera shards one after another — the pre-sharding
+// behavior, equivalent to running one query per camera back to back)
+// versus sharded (per-camera shards fan out across the worker pool).
+// The executable sleeps per chunk, modeling PROCESS cost that is
+// latency-bound (real per-chunk CV inference, often offloaded), so the
+// sharded variant's wall-clock approaches max(shard) instead of
+// sum(shards): ~4x on 4 shards.
+
+const multiCamQuery = `
+SPLIT cam0, cam1, cam2, cam3
+  BEGIN 3-15-2021/6:00am END 3-15-2021/6:06am
+  BY TIME 30sec STRIDE 0sec INTO fleet;
+PROCESS fleet USING slowcount TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.00001;`
+
+func runMultiCamBench(b *testing.B, serial bool) {
+	engine := privid.New(privid.Options{
+		Seed: 1,
+		// Resource model: the pool can hold all shards' in-flight
+		// work, but each camera is bounded (stream decode capacity) to
+		// 3 concurrent chunk executions. Caching is disabled so every
+		// iteration pays full sandbox cost.
+		Parallelism:          12,
+		PerCameraParallelism: 3,
+		ChunkCacheBytes:      -1,
+		SerialShards:         serial,
+	})
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("cam%d", i)
+		if err := engine.RegisterCamera(privid.CameraConfig{
+			Name:    name,
+			Source:  privid.NewSceneCamera(name, privid.CampusProfile(), int64(i+1), 6*time.Minute),
+			Policy:  privid.Policy{Rho: time.Minute, K: 2},
+			Epsilon: 1e9,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := engine.Registry().Register("slowcount", func(chunk *privid.Chunk) []privid.Row {
+		time.Sleep(2 * time.Millisecond) // latency-bound per-chunk inference
+		n := 0
+		for _, o := range chunk.Frame(0).Objects {
+			if o.EntityID >= 0 {
+				n++
+			}
+		}
+		return []privid.Row{{privid.N(float64(n))}}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	prog, err := privid.Parse(multiCamQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Execute(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiCamera_Serial processes the 4 camera shards one after
+// another (the pre-sharding baseline).
+func BenchmarkMultiCamera_Serial(b *testing.B) { runMultiCamBench(b, true) }
+
+// BenchmarkMultiCamera_Sharded fans the 4 shards out concurrently;
+// wall-clock per op should be ~max(shard), i.e. ~4x below Serial.
+func BenchmarkMultiCamera_Sharded(b *testing.B) { runMultiCamBench(b, false) }
 
 // BenchmarkEndToEndQuery measures a complete small query: split,
 // sandboxed processing, aggregation, sensitivity, admission, noise.

@@ -88,6 +88,9 @@ type config struct {
 	DefaultQueryEpsilon float64 `json:"default_query_epsilon"`
 	// Parallelism bounds concurrent chunk processing (0 = all cores).
 	Parallelism int `json:"parallelism"`
+	// PerCameraParallelism bounds concurrent chunk processing within
+	// one camera shard of a multi-camera query (0 = Parallelism).
+	PerCameraParallelism int `json:"per_camera_parallelism,omitempty"`
 	// ChunkCacheBytes bounds the chunk-result cache (0 = 64 MiB
 	// default, negative disables).
 	ChunkCacheBytes int64 `json:"chunk_cache_bytes"`
@@ -142,13 +145,14 @@ func loadConfig(path string) (config, error) {
 
 func buildEngine(cfg config, repair bool) (*privid.Engine, error) {
 	engine, err := privid.Open(privid.Options{
-		Seed:                cfg.Seed,
-		DefaultQueryEpsilon: cfg.DefaultQueryEpsilon,
-		Parallelism:         cfg.Parallelism,
-		ChunkCacheBytes:     cfg.ChunkCacheBytes,
-		StateDir:            cfg.StateDir,
-		SnapshotEvery:       cfg.SnapshotEvery,
-		RepairState:         repair,
+		Seed:                 cfg.Seed,
+		DefaultQueryEpsilon:  cfg.DefaultQueryEpsilon,
+		Parallelism:          cfg.Parallelism,
+		PerCameraParallelism: cfg.PerCameraParallelism,
+		ChunkCacheBytes:      cfg.ChunkCacheBytes,
+		StateDir:             cfg.StateDir,
+		SnapshotEvery:        cfg.SnapshotEvery,
+		RepairState:          repair,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,145 @@
+package privid_test
+
+import (
+	"fmt"
+	"time"
+
+	"privid"
+)
+
+// ExampleParse shows the shape of a parsed multi-camera program.
+func ExampleParse() {
+	prog, err := privid.Parse(`
+SPLIT camA, camB BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am
+  BY TIME 30sec STRIDE 0sec INTO fleet;
+PROCESS fleet USING headcount TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t;`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("splits=%d processes=%d selects=%d\n",
+		len(prog.Splits), len(prog.Processes), len(prog.Selects))
+	fmt.Printf("cameras=%v into=%q\n", prog.Splits[0].Cameras, prog.Splits[0].Into)
+
+	// Static validation runs inside Parse: errors carry positions.
+	if _, err := privid.Parse(`SPLIT camA, camA BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am
+  BY TIME 30sec STRIDE 0sec INTO fleet;`); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// splits=1 processes=1 selects=1
+	// cameras=[camA camB] into="fleet"
+	// query:1:1: duplicate camera "camA" in SPLIT
+}
+
+// ExampleEngine_Execute runs one small query end to end: register a
+// camera and an executable, parse, execute, inspect the releases'
+// privacy parameters. (Released values are noised, so the example
+// prints the deterministic parameters instead.)
+func ExampleEngine_Execute() {
+	engine := privid.New(privid.Options{Seed: 1})
+	if err := engine.RegisterCamera(privid.CameraConfig{
+		Name:    "campus",
+		Source:  privid.NewSceneCamera("campus", privid.CampusProfile(), 1, 30*time.Minute),
+		Policy:  privid.Policy{Rho: 60 * time.Second, K: 2},
+		Epsilon: 10,
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := engine.Registry().Register("headcount", func(chunk *privid.Chunk) []privid.Row {
+		n := 0
+		for _, o := range chunk.Frame(chunk.Len() / 2).Objects {
+			if o.EntityID >= 0 {
+				n++
+			}
+		}
+		return []privid.Row{{privid.N(float64(n))}}
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	prog, err := privid.Parse(`
+SPLIT campus BEGIN 03-15-2021/6:00am END 03-15-2021/6:30am
+  BY TIME 30sec STRIDE 0sec INTO chunks;
+PROCESS chunks USING headcount TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.5;`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := engine.Execute(prog)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range res.Releases {
+		fmt.Printf("%s: Δ=%.0f ε=%.2g noise-scale=%.0f\n",
+			r.Desc, r.Sensitivity, r.Epsilon, r.NoiseScale)
+	}
+	fmt.Printf("epsilon spent: %.2g\n", res.EpsilonSpent)
+	// Output:
+	// COUNT(*): Δ=6 ε=0.5 noise-scale=12
+	// epsilon spent: 0.5
+}
+
+// ExampleEngine_Execute_multiCamera aggregates across a two-camera
+// fleet in one query: the fleet-wide count composes sensitivity across
+// cameras, the GROUP BY camera breakdown pays only each camera's own
+// sensitivity, and the result reports each camera's budget.
+func ExampleEngine_Execute_multiCamera() {
+	engine := privid.New(privid.Options{Seed: 1})
+	for _, cam := range []struct {
+		name string
+		p    privid.Profile
+	}{{"campus", privid.CampusProfile()}, {"highway", privid.HighwayProfile()}} {
+		if err := engine.RegisterCamera(privid.CameraConfig{
+			Name:    cam.name,
+			Source:  privid.NewSceneCamera(cam.name, cam.p, 1, 30*time.Minute),
+			Policy:  privid.Policy{Rho: 60 * time.Second, K: 2},
+			Epsilon: 10,
+		}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	if err := engine.Registry().Register("one", func(*privid.Chunk) []privid.Row {
+		return []privid.Row{{privid.N(1)}}
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	prog, err := privid.Parse(`
+SPLIT campus, highway BEGIN 03-15-2021/6:00am END 03-15-2021/6:30am
+  BY TIME 30sec STRIDE 0sec INTO fleet;
+PROCESS fleet USING one TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.5;
+SELECT camera, COUNT(*) FROM t
+  GROUP BY camera WITH KEYS ["campus", "highway"] CONSUMING 0.25;`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := engine.Execute(prog)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range res.Releases {
+		fmt.Printf("%s: Δ=%.0f\n", r.Desc, r.Sensitivity)
+	}
+	for _, cb := range res.Cameras {
+		fmt.Printf("%s: charged ε=%.2g, remaining %.4g\n",
+			cb.Camera, cb.EpsilonSpent, cb.Remaining)
+	}
+	// Output:
+	// COUNT(*): Δ=12
+	// COUNT(*)[camera=campus]: Δ=6
+	// COUNT(*)[camera=highway]: Δ=6
+	// campus: charged ε=0.75, remaining 9.25
+	// highway: charged ε=0.75, remaining 9.25
+}

@@ -69,6 +69,20 @@ type Options struct {
 	// TIMEOUT. 0 (the default) uses runtime.GOMAXPROCS(0); set 1
 	// explicitly to force serial processing.
 	Parallelism int
+	// PerCameraParallelism bounds concurrent sandbox executions within
+	// one camera shard of a multi-camera chunk set, so one camera's
+	// chunks cannot monopolize the pool while sibling shards starve
+	// (real deployments are also limited per camera by stream decode
+	// capacity). 0 (the default) uses Parallelism; values above
+	// Parallelism are clamped to it. Single-camera chunk sets always
+	// use the full Parallelism.
+	PerCameraParallelism int
+	// SerialShards disables the sharded fan-out: the camera shards of
+	// a multi-camera chunk set are processed one after another, each
+	// still using PerCameraParallelism for its own chunks. It exists
+	// as the benchmark baseline (BenchmarkMultiCamera_Serial) and as a
+	// debugging escape hatch; leave it false in deployments.
+	SerialShards bool
 	// ChunkCacheBytes bounds the in-memory cache of per-chunk PROCESS
 	// results (approximate bytes). 0 (the default) uses
 	// DefaultChunkCacheBytes; a negative value disables caching
@@ -158,6 +172,9 @@ func Open(opts Options) (*Engine, error) {
 	}
 	if opts.Parallelism < 1 {
 		opts.Parallelism = 1
+	}
+	if opts.PerCameraParallelism < 1 || opts.PerCameraParallelism > opts.Parallelism {
+		opts.PerCameraParallelism = opts.Parallelism
 	}
 	if opts.ChunkCacheBytes == 0 {
 		opts.ChunkCacheBytes = DefaultChunkCacheBytes

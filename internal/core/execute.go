@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,12 +48,32 @@ type ReleaseResult struct {
 	RawSet bool
 }
 
+// CameraBudget reports one camera's share of a query's privacy cost:
+// how much the query charged that camera's ledger and the worst-case
+// budget left afterwards over the charged frames. It lets a fleet
+// analyst see, per camera, how close each ledger is to exhaustion
+// without a separate budget endpoint round-trip.
+type CameraBudget struct {
+	// Camera is the camera name.
+	Camera string
+	// EpsilonSpent is the total ε this query charged the camera (a
+	// release spanning several cameras charges its ε on each, so the
+	// per-camera values can sum to more than Result.EpsilonSpent).
+	EpsilonSpent float64
+	// Remaining is the minimum unspent budget over every frame this
+	// query charged, measured after the charge landed.
+	Remaining float64
+}
+
 // Result is the outcome of executing a program.
 type Result struct {
 	Releases []ReleaseResult
 	// EpsilonSpent is the total budget the program consumed (sum over
 	// releases).
 	EpsilonSpent float64
+	// Cameras reports the per-camera budget impact, sorted by camera
+	// name (empty when the program released nothing chargeable).
+	Cameras []CameraBudget
 }
 
 // slotGraceMultiple scales a PROCESS statement's TIMEOUT into the
@@ -62,25 +83,36 @@ type Result struct {
 // that a truly hung executable cannot wedge the engine.
 const slotGraceMultiple = 4
 
-// splitPlan is a resolved SPLIT statement: one video.Split per region
-// (a single entry with empty region name when unsplit).
-type splitPlan struct {
-	stmt     *query.SplitStmt
-	cam      *camera
-	pol      policy.Policy // effective (mask-adjusted) policy
-	interval vtime.Interval
-	chunkF   int64
-	strideF  int64
-	splits   []video.Split // one per region
-	regions  int           // 0 when not region-split
+// splitShard is one camera's slice of a resolved chunk set: the
+// concrete chunking plan for that camera (one video.Split per region;
+// a single entry with empty region name when unsplit).
+type splitShard struct {
+	cam        *camera
+	pol        policy.Policy // effective (mask-adjusted) policy
+	maskID     string        // WITH MASK id ("" when unmasked)
+	schemeName string        // BY REGION scheme name ("" when unsplit)
+	interval   vtime.Interval
+	chunkF     int64
+	strideF    int64
+	splits     []video.Split // one per region
+	regions    int           // 0 when not region-split
 	// regionsPerEvent is the max region-chunks one individual can
 	// influence per temporal chunk (>1 only under Grid Split).
 	regionsPerEvent int
 }
 
+// splitPlan is a resolved SPLIT or MERGE statement: one shard per
+// contributing camera. multi marks chunk sets whose PROCESS rows carry
+// the trusted camera provenance column (multi-camera SPLIT and every
+// MERGE output).
+type splitPlan struct {
+	shards []*splitShard
+	multi  bool
+}
+
 // Execute runs a parsed program end to end and returns its noised
 // releases. On budget exhaustion the query is denied as a whole and
-// nothing is consumed.
+// nothing is consumed on any camera.
 func (e *Engine) Execute(prog *query.Program) (*Result, error) {
 	return e.execute(prog, "", nil)
 }
@@ -105,6 +137,22 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 			return nil, err
 		}
 		plans[st.Into] = p
+	}
+	// MERGE unions previously resolved chunk sets; validation already
+	// guaranteed the inputs exist, are distinct, and share a region
+	// scheme. The merged set always stamps camera provenance, even
+	// when the inputs happen to cover a single camera: its sensitivity
+	// composes per shard either way.
+	for _, m := range prog.Merges {
+		merged := &splitPlan{multi: true}
+		for _, in := range m.Inputs {
+			p, ok := plans[in]
+			if !ok {
+				return nil, fmt.Errorf("core: MERGE input %q is not a defined chunk set", in)
+			}
+			merged.shards = append(merged.shards, p.shards...)
+		}
+		plans[m.Into] = merged
 	}
 
 	env := rel.Env{}
@@ -141,7 +189,10 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 		}
 	}
 
-	// Build per-camera charges.
+	// Build per-camera charges. Each release charges every camera it
+	// depends on, over that camera's own charge window (its queried
+	// span clipped to the release's span) mapped through the camera's
+	// own frame clock.
 	charges := map[string][]dp.Charge{}
 	for _, p := range pendings {
 		for _, camName := range p.rel.Cameras {
@@ -149,8 +200,12 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 			if err != nil {
 				return nil, err
 			}
+			w, ok := p.rel.CamWindows[camName]
+			if !ok {
+				w = [2]time.Time{p.rel.Begin, p.rel.End}
+			}
 			clock := cam.cfg.Source.Info().Clock()
-			iv := vtime.NewInterval(clock.FrameAt(p.rel.Begin), clock.FrameAt(p.rel.End))
+			iv := vtime.NewInterval(clock.FrameAt(w[0]), clock.FrameAt(w[1]))
 			charges[camName] = append(charges[camName], dp.Charge{Interval: iv, Eps: p.rel.Epsilon})
 		}
 	}
@@ -164,8 +219,10 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 	// three phases so the durable fsync happens outside the engine
 	// lock and concurrent queries' charges share group commits:
 	//
-	//  1. Reserve: under the lock, check every ledger and hold the
-	//     charges as reservations (they block competing queries).
+	//  1. Reserve: under the lock, dp.ReserveAll checks every touched
+	//     camera's ledger and holds the charges as reservations (they
+	//     block competing queries); if any single camera denies, every
+	//     reservation is dropped and no camera is charged anything.
 	//  2. Persist: outside the lock, append every charge plus the
 	//     audit entry to the WAL and fsync. A failure releases the
 	//     reservations exactly and denies the query — the analyst
@@ -177,22 +234,22 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 	// nobody received: recovery over-charges (at-least-once), never
 	// under-charges.
 	e.mu.Lock()
-	resv := make(map[string]int64, len(camNames))
+	demands := make([]dp.Demand, 0, len(camNames))
 	for _, camName := range camNames {
 		cam := e.cameras[camName]
-		rho := cam.cfg.Policy.RhoFrames(cam.cfg.Source.Info().FPS)
-		id, err := cam.ledger.Reserve(charges[camName], rho)
-		if err != nil {
-			for held, heldID := range resv {
-				e.cameras[held].ledger.Release(heldID)
-			}
-			denied := AuditEntry{At: e.clock(), Cameras: camNames, Denied: true, Reason: err.Error()}
-			e.recordAudit(denied)
-			e.mu.Unlock()
-			e.persistDeniedAudit(denied)
-			return nil, err
-		}
-		resv[camName] = id
+		demands = append(demands, dp.Demand{
+			Ledger:    cam.ledger,
+			Charges:   charges[camName],
+			RhoFrames: cam.cfg.Policy.RhoFrames(cam.cfg.Source.Info().FPS),
+		})
+	}
+	resv, err := dp.ReserveAll(demands)
+	if err != nil {
+		denied := AuditEntry{At: e.clock(), Cameras: camNames, Denied: true, Reason: err.Error()}
+		e.recordAudit(denied)
+		e.mu.Unlock()
+		e.persistDeniedAudit(denied)
+		return nil, err
 	}
 	// Stamp the audit time under the lock: Options.Now test clocks
 	// need not be goroutine-safe, and every other clock() call site
@@ -227,9 +284,7 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 	}})
 	if err := e.store.Commit(recs...); err != nil {
 		e.mu.Lock()
-		for held, heldID := range resv {
-			e.cameras[held].ledger.Release(heldID)
-		}
+		resv.Release()
 		e.recordAudit(AuditEntry{
 			Cameras: camNames, Denied: true,
 			Reason: "charge not persisted: " + err.Error(),
@@ -239,13 +294,22 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 	}
 
 	e.mu.Lock()
-	for _, camName := range camNames {
-		e.cameras[camName].ledger.Finalize(resv[camName])
-	}
+	resv.Finalize()
 	res := &Result{}
 	for _, p := range pendings {
 		res.Releases = append(res.Releases, e.noiseRelease(p.rel))
 		res.EpsilonSpent += p.rel.Epsilon
+	}
+	for _, camName := range camNames {
+		cam := e.cameras[camName]
+		cb := CameraBudget{Camera: camName, Remaining: math.Inf(1)}
+		for _, c := range charges[camName] {
+			cb.EpsilonSpent += c.Eps
+			if r := cam.ledger.RemainingOver(c.Interval); r < cb.Remaining {
+				cb.Remaining = r
+			}
+		}
+		res.Cameras = append(res.Cameras, cb)
 	}
 	e.recordAudit(AuditEntry{
 		At:           at,
@@ -328,9 +392,25 @@ func (e *Engine) noiseRelease(r rel.Release) ReleaseResult {
 	return out
 }
 
-// resolveSplit turns a SPLIT statement into concrete chunking plans.
+// resolveSplit turns a SPLIT statement into one concrete chunking
+// shard per listed camera.
 func (e *Engine) resolveSplit(st *query.SplitStmt) (*splitPlan, error) {
-	cam, err := e.lookupCamera(st.Camera)
+	plan := &splitPlan{multi: len(st.Cameras) > 1}
+	for _, camName := range st.Cameras {
+		sh, err := e.resolveShard(st, camName)
+		if err != nil {
+			return nil, err
+		}
+		plan.shards = append(plan.shards, sh)
+	}
+	return plan, nil
+}
+
+// resolveShard resolves one camera of a SPLIT statement: window
+// intersection, chunk/stride frame conversion at the camera's FPS,
+// mask policy lookup, and region scheme resolution.
+func (e *Engine) resolveShard(st *query.SplitStmt, camName string) (*splitShard, error) {
+	cam, err := e.lookupCamera(camName)
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +420,7 @@ func (e *Engine) resolveSplit(st *query.SplitStmt) (*splitPlan, error) {
 	iv := vtime.NewInterval(clock.FrameAt(st.Begin), clock.FrameAt(st.End))
 	iv = iv.Intersect(info.Bounds())
 	if iv.Empty() {
-		return nil, fmt.Errorf("core: SPLIT window %v–%v is outside camera %q's stream", st.Begin, st.End, st.Camera)
+		return nil, fmt.Errorf("core: SPLIT window %v–%v is outside camera %q's stream", st.Begin, st.End, camName)
 	}
 
 	toFrames := func(d query.Dur) (int64, error) {
@@ -362,23 +442,24 @@ func (e *Engine) resolveSplit(st *query.SplitStmt) (*splitPlan, error) {
 	}
 
 	// Resolve the mask: the effective policy comes from the published
-	// policy map entry; no mask means the camera default.
+	// policy map entry; no mask means the camera default. Every camera
+	// of a multi-camera SPLIT must publish the mask itself.
 	src := cam.cfg.Source
 	pol := cam.cfg.Policy
 	if st.Mask != "" {
 		if cam.cfg.Policies == nil {
-			return nil, fmt.Errorf("core: camera %q publishes no masks", st.Camera)
+			return nil, fmt.Errorf("core: camera %q publishes no masks", camName)
 		}
 		entry, ok := cam.cfg.Policies.Lookup(st.Mask)
 		if !ok {
-			return nil, fmt.Errorf("core: camera %q has no mask %q", st.Camera, st.Mask)
+			return nil, fmt.Errorf("core: camera %q has no mask %q", camName, st.Mask)
 		}
 		src = video.Masked(src, entry.Mask)
 		pol = entry.Policy
 	}
 
-	plan := &splitPlan{
-		stmt: st, cam: cam, pol: pol,
+	sh := &splitShard{
+		cam: cam, pol: pol, maskID: st.Mask, schemeName: st.Region,
 		interval: iv, chunkF: chunkF, strideF: strideF,
 	}
 
@@ -391,20 +472,20 @@ func (e *Engine) resolveSplit(st *query.SplitStmt) (*splitPlan, error) {
 			if !sch.Hard && chunkF != 1 {
 				return nil, fmt.Errorf("core: scheme %q has soft boundaries; BY REGION requires BY TIME 1frame", st.Region)
 			}
-			plan.regionsPerEvent = 1
+			sh.regionsPerEvent = 1
 		default:
 			// Grid Split (§7.2 extension): any chunk size, with the
 			// per-event region count derived from the owner's
 			// object-size and speed bounds.
 			g, gok := cam.cfg.GridSchemes[st.Region]
 			if !gok {
-				return nil, fmt.Errorf("core: camera %q has no region scheme %q", st.Camera, st.Region)
+				return nil, fmt.Errorf("core: camera %q has no region scheme %q", camName, st.Region)
 			}
 			sch = g.Scheme()
-			plan.regionsPerEvent = g.RegionsPerChunk(chunkF, info.FPS)
+			sh.regionsPerEvent = g.RegionsPerChunk(chunkF, info.FPS)
 		}
 		for name, rsrc := range sch.Sources(src) {
-			plan.splits = append(plan.splits, video.Split{
+			sh.splits = append(sh.splits, video.Split{
 				Source:       rsrc,
 				Interval:     iv,
 				ChunkFrames:  chunkF,
@@ -412,27 +493,35 @@ func (e *Engine) resolveSplit(st *query.SplitStmt) (*splitPlan, error) {
 				Region:       name,
 			})
 		}
-		plan.regions = len(sch.Regions)
+		sh.regions = len(sch.Regions)
 	} else {
-		plan.splits = []video.Split{{
+		sh.splits = []video.Split{{
 			Source:       src,
 			Interval:     iv,
 			ChunkFrames:  chunkF,
 			StrideFrames: strideF,
 		}}
 	}
-	return plan, nil
+	return sh, nil
 }
 
 // runProcess executes the analyst's executable over every chunk of the
-// plan and materializes the intermediate table. Chunk results are
-// memoized in the engine's chunk cache (when enabled): a chunk whose
-// (content identity, executable, contract limits) key is already
-// cached skips sandbox execution entirely. Caching affects only how
-// fast the table materializes — admission and noise downstream never
-// observe whether a row came from the sandbox or the cache.
+// plan and materializes the intermediate table. Multi-camera plans run
+// as a sharded pipeline: one worker per camera shard fans out over the
+// engine's pool (bounded per camera by PerCameraParallelism), streams
+// its partial table into the aggregator as it completes, and hits the
+// chunk cache independently per camera — an N-camera query costs about
+// the slowest shard's wall-clock, not the sum. Rows of multi-camera
+// tables carry the trusted implicit camera column.
+//
+// Chunk results are memoized in the engine's chunk cache (when
+// enabled): a chunk whose (content identity, executable, contract
+// limits) key is already cached skips sandbox execution entirely.
+// Caching affects only how fast the table materializes — admission and
+// noise downstream never observe whether a row came from the sandbox
+// or the cache.
 func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instance, error) {
-	if plan == nil {
+	if plan == nil || len(plan.shards) == 0 {
 		return nil, fmt.Errorf("core: PROCESS input %q has no SPLIT", st.Input)
 	}
 	fn, ok := e.registry.Lookup(st.Using)
@@ -454,20 +543,92 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instan
 		Schema:  schema,
 	}
 
-	hasRegion := plan.regions > 0
-	full := schema.WithImplicit(hasRegion)
+	hasRegion := plan.shards[0].regions > 0
+	full := schema.WithImplicitCols(hasRegion, plan.multi)
 	data := table.New(full)
 
-	info := plan.cam.cfg.Source.Info()
-	for _, split := range plan.splits {
+	shardPar := e.opts.Parallelism
+	if len(plan.shards) > 1 {
+		shardPar = e.opts.PerCameraParallelism
+	}
+
+	if len(plan.shards) == 1 || e.opts.SerialShards {
+		for _, sh := range plan.shards {
+			data.Append(e.runShard(sh, st, exec, schema, hasRegion, plan.multi, shardPar)...)
+		}
+	} else {
+		// Sharded fan-out with a streaming aggregator: shards complete
+		// in any order, but rows are appended in shard order so the
+		// materialized table is deterministic (dedup picks the same
+		// representative rows regardless of shard timing).
+		type partial struct {
+			idx  int
+			rows []table.Row
+		}
+		ch := make(chan partial, len(plan.shards))
+		for i, sh := range plan.shards {
+			go func(i int, sh *splitShard) {
+				ch <- partial{idx: i, rows: e.runShard(sh, st, exec, schema, hasRegion, plan.multi, shardPar)}
+			}(i, sh)
+		}
+		buffered := make(map[int][]table.Row, len(plan.shards))
+		next := 0
+		for range plan.shards {
+			p := <-ch
+			buffered[p.idx] = p.rows
+			for {
+				rows, ok := buffered[next]
+				if !ok {
+					break
+				}
+				data.Append(rows...)
+				delete(buffered, next)
+				next++
+			}
+		}
+	}
+
+	metas := make([]rel.TableMeta, len(plan.shards))
+	for i, sh := range plan.shards {
+		info := sh.cam.cfg.Source.Info()
+		clock := info.Clock()
+		metas[i] = rel.TableMeta{
+			Name:            st.Into,
+			Camera:          sh.cam.cfg.Name,
+			MaxRows:         st.MaxRows,
+			ChunkFrames:     sh.chunkF,
+			StrideFrames:    sh.strideF,
+			FPS:             info.FPS,
+			NumChunks:       sh.splits[0].NumChunks(),
+			Begin:           clock.TimeOf(sh.interval.Start),
+			End:             clock.TimeOf(sh.interval.End),
+			Policy:          sh.pol,
+			Regions:         sh.regions,
+			RegionsPerEvent: sh.regionsPerEvent,
+		}
+	}
+	return rel.NewInstance(data, metas...), nil
+}
+
+// runShard executes the analyst's executable over every chunk of one
+// camera shard and returns the stamped rows in deterministic chunk
+// order. par bounds the shard's concurrent sandbox executions (the
+// per-camera bound of the sharded executor); the engine-wide procSem
+// still bounds the total across all shards and queries.
+func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Executor,
+	schema table.Schema, hasRegion, multi bool, par int) []table.Row {
+	var out []table.Row
+	camName := sh.cam.cfg.Name
+	camVal := table.S(camName)
+	for _, split := range sh.splits {
 		ords := split.ActiveChunks()
 		rowsByOrd := make([][]table.Row, len(ords))
 		var keyPrefix string
 		if e.chunkCache != nil {
 			keyPrefix = chunkKeyPrefix(
-				plan.cam.cfg.Name, plan.stmt.Mask, plan.stmt.Region,
+				camName, sh.maskID, sh.schemeName,
 				split.Region, st.Using, st.Timeout, st.MaxRows, schema,
-				plan.chunkF, plan.strideF)
+				sh.chunkF, sh.strideF)
 		}
 		process := func(i int) {
 			chunk := split.ChunkAt(ords[i])
@@ -526,13 +687,16 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instan
 				if hasRegion {
 					r = append(r, table.S(split.Region))
 				}
+				if multi {
+					r = append(r, camVal)
+				}
 				stamped[j] = r
 			}
 			rowsByOrd[i] = stamped
 		}
-		if e.opts.Parallelism > 1 && len(ords) > 1 {
+		if par > 1 && len(ords) > 1 {
 			var wg sync.WaitGroup
-			sem := make(chan struct{}, e.opts.Parallelism)
+			sem := make(chan struct{}, par)
 			for i := range ords {
 				wg.Add(1)
 				sem <- struct{}{}
@@ -549,24 +713,8 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instan
 			}
 		}
 		for _, rows := range rowsByOrd {
-			data.Append(rows...)
+			out = append(out, rows...)
 		}
 	}
-
-	clock := info.Clock()
-	meta := rel.TableMeta{
-		Name:            st.Into,
-		Camera:          plan.cam.cfg.Name,
-		MaxRows:         st.MaxRows,
-		ChunkFrames:     plan.chunkF,
-		StrideFrames:    plan.strideF,
-		FPS:             info.FPS,
-		NumChunks:       plan.splits[0].NumChunks(),
-		Begin:           clock.TimeOf(plan.interval.Start),
-		End:             clock.TimeOf(plan.interval.End),
-		Policy:          plan.pol,
-		Regions:         plan.regions,
-		RegionsPerEvent: plan.regionsPerEvent,
-	}
-	return &rel.Instance{Meta: meta, Data: data}, nil
+	return out
 }

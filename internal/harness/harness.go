@@ -58,6 +58,10 @@ type Config struct {
 	Scheduler server.SchedulerOptions
 	// Seed drives the noise sampler. 0 uses 1.
 	Seed int64
+	// Cameras is the number of registered test cameras (0 = 1). The
+	// first is named Camera; extras are named CameraName(1), ... and
+	// share the same scene shape, policy and Epsilon.
+	Cameras int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,7 +74,18 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Cameras == 0 {
+		c.Cameras = 1
+	}
 	return c
+}
+
+// CameraName returns the i-th test camera's name; index 0 is Camera.
+func CameraName(i int) string {
+	if i == 0 {
+		return Camera
+	}
+	return fmt.Sprintf("cam%d", i+1)
 }
 
 // H is a running stack. Engine, Sched and Srv are replaced by Restart.
@@ -141,13 +156,16 @@ func (h *H) boot() {
 	if err != nil {
 		h.T.Fatalf("harness: open engine: %v", err)
 	}
-	if err := engine.RegisterCamera(core.CameraConfig{
-		Name:    Camera,
-		Source:  &video.SceneSource{Camera: Camera, Scene: testScene(h.Cfg.Minutes)},
-		Policy:  policy.Policy{Rho: 25 * time.Second, K: 1},
-		Epsilon: h.Cfg.Epsilon,
-	}); err != nil {
-		h.T.Fatalf("harness: register camera: %v", err)
+	for i := 0; i < h.Cfg.Cameras; i++ {
+		name := CameraName(i)
+		if err := engine.RegisterCamera(core.CameraConfig{
+			Name:    name,
+			Source:  &video.SceneSource{Camera: name, Scene: testScene(h.Cfg.Minutes)},
+			Policy:  policy.Policy{Rho: 25 * time.Second, K: 1},
+			Epsilon: h.Cfg.Epsilon,
+		}); err != nil {
+			h.T.Fatalf("harness: register camera: %v", err)
+		}
 	}
 	if err := engine.Registry().Register("one", one); err != nil {
 		h.T.Fatalf("harness: register executable: %v", err)
@@ -223,10 +241,18 @@ type Release struct {
 	NoiseScale  float64 `json:"noise_scale"`
 }
 
+// CameraBudget is one camera's budget impact as served over HTTP.
+type CameraBudget struct {
+	Camera       string  `json:"camera"`
+	EpsilonSpent float64 `json:"epsilon_spent"`
+	Remaining    float64 `json:"remaining"`
+}
+
 // Result is a finished query's outcome as served over HTTP.
 type Result struct {
-	Releases     []Release `json:"releases"`
-	EpsilonSpent float64   `json:"epsilon_spent"`
+	Releases     []Release      `json:"releases"`
+	EpsilonSpent float64        `json:"epsilon_spent"`
+	Cameras      []CameraBudget `json:"cameras"`
 }
 
 // Job is a job snapshot as served over HTTP.
@@ -348,13 +374,21 @@ func (h *H) Job(id string) (Job, bool) {
 	return j, true
 }
 
-// Budget returns the camera's remaining budget at a frame, over HTTP.
+// Budget returns the default camera's remaining budget at a frame,
+// over HTTP.
 func (h *H) Budget(frame int64) float64 {
+	h.T.Helper()
+	return h.BudgetFor(Camera, frame)
+}
+
+// BudgetFor returns one camera's remaining budget at a frame, over
+// HTTP.
+func (h *H) BudgetFor(camera string, frame int64) float64 {
 	h.T.Helper()
 	var out struct {
 		Remaining float64 `json:"remaining"`
 	}
-	h.get(fmt.Sprintf("/v1/cameras/%s/budget?frame=%d", Camera, frame), http.StatusOK, &out)
+	h.get(fmt.Sprintf("/v1/cameras/%s/budget?frame=%d", camera, frame), http.StatusOK, &out)
 	return out.Remaining
 }
 

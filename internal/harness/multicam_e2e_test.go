@@ -1,0 +1,112 @@
+package harness_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"privid/internal/harness"
+)
+
+// fleetCountQuery returns a COUNT(*) over the first three test cameras
+// in one cross-camera SPLIT.
+func fleetCountQuery(eps float64) string {
+	cams := []string{harness.CameraName(0), harness.CameraName(1), harness.CameraName(2)}
+	return fmt.Sprintf(`
+SPLIT %s BEGIN 03-15-2021/6:00am END 03-15-2021/6:05am
+  BY TIME 30sec STRIDE 0sec INTO fleet;
+PROCESS fleet USING one TIMEOUT 5sec PRODUCING 2 ROWS
+  WITH SCHEMA (v:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING %g;`, strings.Join(cams, ", "), eps)
+}
+
+// A cross-camera query's HTTP result must carry one budget entry per
+// touched camera with the post-charge remaining budget.
+func TestE2EMultiCameraBudgetsInResult(t *testing.T) {
+	h := harness.Start(t, harness.Config{Cameras: 3, Epsilon: 10})
+	job := h.SubmitWait("alice", fleetCountQuery(0.5))
+	if job.State != "done" {
+		t.Fatalf("job = %+v", job)
+	}
+	if len(job.Result.Cameras) != 3 {
+		t.Fatalf("result cameras = %+v, want 3 entries", job.Result.Cameras)
+	}
+	for i, cb := range job.Result.Cameras {
+		if want := harness.CameraName(i); cb.Camera != want {
+			t.Errorf("cameras[%d] = %q, want %q", i, cb.Camera, want)
+		}
+		if math.Abs(cb.EpsilonSpent-0.5) > 1e-12 {
+			t.Errorf("%s spent = %v, want 0.5", cb.Camera, cb.EpsilonSpent)
+		}
+		if math.Abs(cb.Remaining-9.5) > 1e-9 {
+			t.Errorf("%s remaining = %v, want 9.5", cb.Camera, cb.Remaining)
+		}
+		// The result's remaining must agree with the budget endpoint.
+		if got := h.BudgetFor(cb.Camera, 100); math.Abs(got-cb.Remaining) > 1e-9 {
+			t.Errorf("%s budget endpoint = %v, result says %v", cb.Camera, got, cb.Remaining)
+		}
+	}
+}
+
+// Exhausting one camera must deny the fleet query as a whole over
+// HTTP, with every camera's budget intact.
+func TestE2EMultiCameraAtomicDenial(t *testing.T) {
+	h := harness.Start(t, harness.Config{Cameras: 3, Epsilon: 1})
+	// Drain camera 3 alone almost to zero.
+	drain := fmt.Sprintf(`
+SPLIT %s BEGIN 03-15-2021/6:00am END 03-15-2021/6:05am
+  BY TIME 30sec STRIDE 0sec INTO c;
+PROCESS c USING one TIMEOUT 5sec PRODUCING 2 ROWS
+  WITH SCHEMA (v:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.9;`, harness.CameraName(2))
+	if job := h.SubmitWait("alice", drain); job.State != "done" {
+		t.Fatalf("drain job = %+v", job)
+	}
+
+	before := []float64{h.BudgetFor(harness.CameraName(0), 100), h.BudgetFor(harness.CameraName(1), 100)}
+	job := h.SubmitWait("alice", fleetCountQuery(0.5))
+	if job.State != "failed" {
+		t.Fatalf("fleet query state = %q, want failed (atomic denial)", job.State)
+	}
+	if !strings.Contains(job.Error, "budget exhausted") || !strings.Contains(job.Error, harness.CameraName(2)) {
+		t.Errorf("denial error = %q, want budget exhaustion naming %s", job.Error, harness.CameraName(2))
+	}
+	for i, cam := range []string{harness.CameraName(0), harness.CameraName(1)} {
+		if got := h.BudgetFor(cam, 100); got != before[i] {
+			t.Errorf("%s budget changed across denial: %v -> %v", cam, before[i], got)
+		}
+	}
+
+	// A smaller fleet query over the two healthy cameras still admits.
+	small := strings.Replace(fleetCountQuery(0.5),
+		", "+harness.CameraName(2), "", 1)
+	if job := h.SubmitWait("alice", small); job.State != "done" {
+		t.Fatalf("healthy-pair query = %+v", job)
+	}
+}
+
+// The denied fleet query must surface in the audit log as one denied
+// entry naming all touched cameras.
+func TestE2EMultiCameraDenialAudited(t *testing.T) {
+	h := harness.Start(t, harness.Config{Cameras: 2, Epsilon: 0.1})
+	big := fmt.Sprintf(`
+SPLIT %s, %s BEGIN 03-15-2021/6:00am END 03-15-2021/6:05am
+  BY TIME 30sec STRIDE 0sec INTO fleet;
+PROCESS fleet USING one TIMEOUT 5sec PRODUCING 2 ROWS
+  WITH SCHEMA (v:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.5;`, harness.CameraName(0), harness.CameraName(1))
+	if job := h.SubmitWait("alice", big); job.State != "failed" {
+		t.Fatalf("job = %+v, want failed", job)
+	}
+	audit := h.Audit()
+	if len(audit) != 1 || !audit[0].Denied {
+		t.Fatalf("audit = %+v, want one denied entry", audit)
+	}
+	if len(audit[0].Cameras) != 2 {
+		t.Errorf("audit cameras = %v, want both", audit[0].Cameras)
+	}
+	if audit[0].EpsilonSpent != 0 {
+		t.Errorf("denied entry spent %v, want 0", audit[0].EpsilonSpent)
+	}
+}

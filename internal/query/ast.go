@@ -6,10 +6,12 @@ import (
 	"privid/internal/table"
 )
 
-// Program is a parsed query: any number of SPLIT, PROCESS and SELECT
-// statements in order. Each SELECT is a separate set of data releases.
+// Program is a parsed query: any number of SPLIT, MERGE, PROCESS and
+// SELECT statements in order. Each SELECT is a separate set of data
+// releases.
 type Program struct {
 	Splits    []*SplitStmt
+	Merges    []*MergeStmt
 	Processes []*ProcessStmt
 	Selects   []*SelectStmt
 }
@@ -22,15 +24,17 @@ type Dur struct {
 	IsFrames bool
 }
 
-// SplitStmt selects a segment of one camera's video and splits it
-// temporally into a named set of chunks.
+// SplitStmt selects a segment of one or more cameras' video and splits
+// it temporally into a named set of chunks. With multiple cameras the
+// chunk set is the union of each camera's chunks and every PROCESS row
+// derived from it carries the trusted implicit "camera" column.
 type SplitStmt struct {
-	Pos    Pos
-	Camera string
-	Begin  time.Time
-	End    time.Time
-	Chunk  Dur
-	Stride Dur
+	Pos     Pos
+	Cameras []string
+	Begin   time.Time
+	End     time.Time
+	Chunk   Dur
+	Stride  Dur
 	// Region optionally names a video-owner-defined spatial splitting
 	// scheme (BY REGION, §7.2).
 	Region string
@@ -38,6 +42,16 @@ type SplitStmt struct {
 	// §7.1).
 	Mask string
 	Into string
+}
+
+// MergeStmt unions two or more previously defined chunk sets into a
+// new named chunk set. The merged set behaves like a multi-camera
+// SPLIT output: PROCESS rows carry the trusted "camera" provenance
+// column and sensitivity composes per contributing camera.
+type MergeStmt struct {
+	Pos    Pos
+	Inputs []string
+	Into   string
 }
 
 // ColumnDef is one column of a PROCESS schema.

@@ -1,20 +1,27 @@
 // Package query implements Privid's query language (Fig. 9, Appendix
 // D): a lexer, recursive-descent parser, AST, and static validation
-// for programs made of SPLIT, PROCESS and SELECT statements.
+// for programs made of SPLIT, MERGE, PROCESS and SELECT statements.
 //
 // # Language reference
 //
 // The grammar follows the paper's Fig. 9 and Appendix D, extended with
 // UNION (the paper expresses unions as outer joins; an explicit
-// combinator makes multi-camera tagging queries readable).
+// combinator makes multi-camera tagging queries readable) and with
+// cross-camera chunk sets: SPLIT accepts a camera list and MERGE
+// unions previously defined chunk sets. docs/QUERY_LANGUAGE.md is the
+// full reference manual with worked examples; the grammar here is the
+// authoritative summary and matches what parser.go accepts.
 //
-//	program       := (split_stmt | process_stmt | select_stmt) ";" ...
+//	program       := (split_stmt | merge_stmt | process_stmt | select_stmt) ";" ...
 //
-//	split_stmt    := SPLIT camera_id
+//	split_stmt    := SPLIT camera_id ["," camera_id]...
 //	                   BEGIN timestamp END timestamp
 //	                   BY TIME duration STRIDE [-]duration
 //	                   [BY REGION scheme_id]
 //	                   [WITH MASK mask_id]
+//	                   INTO chunk_set_id
+//
+//	merge_stmt    := MERGE chunk_set_id "," chunk_set_id ["," chunk_set_id]...
 //	                   INTO chunk_set_id
 //
 //	process_stmt  := PROCESS chunk_set_id USING executable
@@ -41,16 +48,28 @@
 //	agg           := COUNT | SUM | AVG | VAR | ARGMAX
 //
 //	expr          := col | number | "string"
+//	               | "-" expr                -- unary minus
 //	               | expr (+|-|*|/) expr
-//	               | expr (=|!=|<|<=|>|>=) expr
+//	               | expr (=|==|!=|<|<=|>|>=) expr   -- == is accepted as =
 //	               | expr (AND|OR) expr
 //	               | range(col, lo, hi)      -- truncate + declare range
 //	               | hour(chunk)             -- hour of day, 0-23
 //	               | day(chunk)              -- day bucket
 //	               | bin(chunk, seconds)     -- fixed-width time bucket
 //
-//	duration      := <number><unit>   unit ∈ frame(s), s(ec), m(in), h(r), d(ay)
-//	timestamp     := MM-DD-YYYY/H:MM(am|pm)
+//	duration      := <number><unit>   unit ∈ f|frame(s), s(ec), m(in), h(r), d(ay)
+//	               | <number>         -- a bare number is wall-clock seconds
+//	timestamp     := MM-DD-YYYY/H:MM(am|pm)   -- 1- or 2-digit month/day/hour
+//
+// Notes on accepted spellings: keywords are case-insensitive; the
+// paper's "PRODUING" typo is accepted as PRODUCING; ROWS after the
+// PRODUCING count is an optional noise word; comments are -- to end of
+// line and /* ... */.
+//
+// The outer SELECT's GROUP BY parses a comma-separated column list,
+// but execution currently supports exactly one outer grouping column
+// (multi-column grouping is rejected when the SELECT runs). The inner
+// dedup GROUP BY accepts any number of columns.
 //
 // Privacy-relevant restrictions (enforced at parse or execution time):
 //
@@ -66,10 +85,30 @@
 //     otherwise the mere presence of a rare key leaks (§6.2). The
 //     implicit chunk column (and hour/day/bin of it) is created by
 //     Privid, so its buckets are enumerable and trusted: every bucket
-//     in the window is released, including empty ones.
+//     in the window is released, including empty ones. The implicit
+//     camera column of a multi-camera chunk set is likewise trusted,
+//     but its keys must still be listed with WITH KEYS (they are the
+//     camera names, which the analyst already knows).
 //   - JOIN inputs must be GROUP BY'd on the join keys, and the join's
 //     sensitivity is the SUM of the inputs' (the untrusted-table
 //     "priming" argument of §6.3).
 //   - ARGMAX requires GROUP BY with enumerable keys and releases only
 //     the winning key, via noisy-max.
+//   - Column names chunk, region and camera are reserved for the
+//     implicit trusted columns; a PROCESS schema may not redeclare
+//     them.
+//   - A SPLIT camera list may not repeat a camera; MERGE inputs must
+//     be distinct, already-defined chunk sets with identical BY REGION
+//     schemes (merging a region-split set with an unsplit one, or two
+//     different schemes, is rejected).
+//
+// Multi-camera composition (SPLIT with a camera list, or MERGE): the
+// resulting chunk set is the union of the per-camera chunk sets.
+// Sensitivity composes per camera exactly like UNION in Fig. 10 — ΔP
+// of the union is the sum of the per-camera ΔP — except that
+// aggregations grouped by the trusted camera column release one value
+// per camera and each release's sensitivity is only that camera's ΔP,
+// and each camera's privacy ledger is charged only over its own
+// queried window. Budget admission across the touched cameras is
+// atomic: if any one camera's ledger denies, no camera is charged.
 package query

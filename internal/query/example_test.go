@@ -1,0 +1,76 @@
+package query_test
+
+import (
+	"fmt"
+
+	"privid/internal/query"
+)
+
+// ExampleParse parses a full split–process–aggregate program and walks
+// its statements.
+func ExampleParse() {
+	prog, err := query.Parse(`
+-- fleet-wide person count
+SPLIT camA, camB BEGIN 03-15-2021/6:00am END 03-15-2021/6:00pm
+  BY TIME 30sec STRIDE 0sec INTO fleet;
+PROCESS fleet USING count_people TIMEOUT 5sec PRODUCING 20 ROWS
+  WITH SCHEMA (one:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.5;`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sp := prog.Splits[0]
+	fmt.Printf("SPLIT %v -> %s (chunk %gs, stride %gs)\n",
+		sp.Cameras, sp.Into, sp.Chunk.Seconds, sp.Stride.Seconds)
+	pr := prog.Processes[0]
+	fmt.Printf("PROCESS %s USING %s -> %s (max %d rows/chunk)\n",
+		pr.Input, pr.Using, pr.Into, pr.MaxRows)
+	se := prog.Selects[0]
+	fmt.Printf("SELECT %v(...) CONSUMING %g\n", se.Agg.Fun, se.Consuming)
+	// Output:
+	// SPLIT [camA camB] -> fleet (chunk 30s, stride 0s)
+	// PROCESS fleet USING count_people -> t (max 20 rows/chunk)
+	// SELECT COUNT(...) CONSUMING 0.5
+}
+
+// ExampleParse_merge unions two chunk sets; the merged set's PROCESS
+// rows carry the trusted camera provenance column.
+func ExampleParse_merge() {
+	prog, err := query.Parse(`
+SPLIT lobby BEGIN 03-15-2021/8:00am END 03-15-2021/10:00am
+  BY TIME 30sec STRIDE 0sec INTO a;
+SPLIT garage BEGIN 03-15-2021/6:00pm END 03-15-2021/11:00pm
+  BY TIME 1min STRIDE 0sec INTO b;
+MERGE a, b INTO doors;
+PROCESS doors USING count_entrants TIMEOUT 5sec PRODUCING 5 ROWS
+  WITH SCHEMA (one:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t;`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := prog.Merges[0]
+	fmt.Printf("MERGE %v -> %s\n", m.Inputs, m.Into)
+	// Output:
+	// MERGE [a b] -> doors
+}
+
+// ExampleParse_errors shows the positioned errors static validation
+// produces.
+func ExampleParse_errors() {
+	for _, src := range []string{
+		`SELECT COUNT(*) FROM ghost;`,
+		`SPLIT cam BEGIN 03-15-2021/6:00am END 03-15-2021/5:00am
+  BY TIME 30sec STRIDE 0sec INTO c;`,
+		`SPLIT cam, cam BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am
+  BY TIME 30sec STRIDE 0sec INTO c;`,
+	} {
+		_, err := query.Parse(src)
+		fmt.Println(err)
+	}
+	// Output:
+	// query:1:22: unknown table "ghost"
+	// query:1:1: SPLIT END must be after BEGIN
+	// query:1:1: duplicate camera "cam" in SPLIT
+}

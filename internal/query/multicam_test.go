@@ -1,0 +1,138 @@
+package query
+
+import (
+	"testing"
+)
+
+// Multi-camera syntax: parser shapes.
+
+func TestParseMultiCameraSplit(t *testing.T) {
+	prog, err := Parse(`
+SPLIT camA, camB, camC BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am
+  BY TIME 30sec STRIDE 0sec INTO fleet;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := prog.Splits[0]
+	want := []string{"camA", "camB", "camC"}
+	if len(sp.Cameras) != len(want) {
+		t.Fatalf("cameras = %v, want %v", sp.Cameras, want)
+	}
+	for i, c := range want {
+		if sp.Cameras[i] != c {
+			t.Errorf("cameras[%d] = %q, want %q", i, sp.Cameras[i], c)
+		}
+	}
+	if sp.Into != "fleet" {
+		t.Errorf("into = %q", sp.Into)
+	}
+}
+
+func TestParseMerge(t *testing.T) {
+	prog, err := Parse(`
+SPLIT camA BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am
+  BY TIME 30sec STRIDE 0sec INTO a;
+SPLIT camB BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am
+  BY TIME 30sec STRIDE 0sec INTO b;
+MERGE a, b INTO ab;
+SPLIT camC BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am
+  BY TIME 30sec STRIDE 0sec INTO c;
+MERGE ab, c INTO fleet;
+PROCESS fleet USING exe TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Merges) != 2 {
+		t.Fatalf("merges = %d, want 2", len(prog.Merges))
+	}
+	m := prog.Merges[1]
+	if len(m.Inputs) != 2 || m.Inputs[0] != "ab" || m.Inputs[1] != "c" || m.Into != "fleet" {
+		t.Errorf("merge = %+v", m)
+	}
+}
+
+// Error paths of the multi-camera syntax, with golden messages: these
+// strings are analyst-facing API; changing them is a breaking change
+// worth noticing in review.
+
+func TestMultiCameraErrors(t *testing.T) {
+	const validSplitA = `SPLIT camA BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am BY TIME 30sec STRIDE 0sec INTO a;
+`
+	const validSplitB = `SPLIT camB BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am BY TIME 30sec STRIDE 0sec INTO b;
+`
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "duplicate camera in SPLIT",
+			src: `SPLIT camA, camA BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am
+  BY TIME 30sec STRIDE 0sec INTO fleet;`,
+			want: `query:1:1: duplicate camera "camA" in SPLIT`,
+		},
+		{
+			name: "MERGE of a single chunk set",
+			src:  validSplitA + `MERGE a INTO fleet;`,
+			want: `query:2:1: MERGE requires at least two chunk sets`,
+		},
+		{
+			name: "MERGE of an unknown chunk set",
+			src:  validSplitA + `MERGE a, ghost INTO fleet;`,
+			want: `query:2:1: MERGE input "ghost" is not a defined chunk set`,
+		},
+		{
+			name: "MERGE repeats an input",
+			src:  validSplitA + `MERGE a, a INTO fleet;`,
+			want: `query:2:1: duplicate chunk set "a" in MERGE`,
+		},
+		{
+			name: "MERGE of mismatched region schemes",
+			src: validSplitA +
+				`SPLIT camB BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am BY TIME 1frame STRIDE 0sec BY REGION lanes INTO b;
+MERGE a, b INTO fleet;`,
+			want: `query:3:1: MERGE of mismatched region schemes ("a" uses no region scheme, "b" uses scheme "lanes")`,
+		},
+		{
+			name: "MERGE of two different region schemes",
+			src: `SPLIT camA BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am BY TIME 1frame STRIDE 0sec BY REGION lanes INTO a;
+SPLIT camB BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am BY TIME 1frame STRIDE 0sec BY REGION zones INTO b;
+MERGE a, b INTO fleet;`,
+			want: `query:3:1: MERGE of mismatched region schemes ("a" uses scheme "lanes", "b" uses scheme "zones")`,
+		},
+		{
+			name: "MERGE output shadows a chunk set",
+			src:  validSplitA + validSplitB + `MERGE a, b INTO a;`,
+			want: `query:3:1: duplicate chunk set "a"`,
+		},
+		{
+			name: "MERGE without INTO",
+			src:  validSplitA + validSplitB + `MERGE a, b;`,
+			want: `query:3:11: expected INTO, got ";"`,
+		},
+		{
+			name: "reserved camera column in PROCESS schema",
+			src: validSplitA + `PROCESS a USING exe TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (camera:STRING="") INTO t;`,
+			want: `query:2:1: column name "camera" is reserved`,
+		},
+		{
+			name: "statement keyword typo",
+			src:  `SPLTI camA BEGIN 03-15-2021/6:00am END 03-15-2021/7:00am BY TIME 30sec STRIDE 0sec INTO a;`,
+			want: `query:1:1: expected SPLIT, MERGE, PROCESS or SELECT, got "SPLTI"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.src)
+			}
+			if err.Error() != tc.want {
+				t.Errorf("error = %q\n      want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}

@@ -29,6 +29,12 @@ func Parse(src string) (*Program, error) {
 				return nil, err
 			}
 			prog.Splits = append(prog.Splits, st)
+		case p.peekKeyword("MERGE"):
+			st, err := p.parseMerge()
+			if err != nil {
+				return nil, err
+			}
+			prog.Merges = append(prog.Merges, st)
 		case p.peekKeyword("PROCESS"):
 			st, err := p.parseProcess()
 			if err != nil {
@@ -42,7 +48,7 @@ func Parse(src string) (*Program, error) {
 			}
 			prog.Selects = append(prog.Selects, st)
 		default:
-			return nil, errf(p.peek().Pos, "expected SPLIT, PROCESS or SELECT, got %s", p.peek())
+			return nil, errf(p.peek().Pos, "expected SPLIT, MERGE, PROCESS or SELECT, got %s", p.peek())
 		}
 		if !p.acceptPunct(";") && !p.atEOF() {
 			return nil, errf(p.peek().Pos, "expected ';' after statement, got %s", p.peek())
@@ -156,21 +162,28 @@ func (p *parser) expectDur() (Dur, error) {
 
 // parseSplit parses:
 //
-//	SPLIT cam BEGIN ts END ts BY TIME d STRIDE d
+//	SPLIT cam [, cam ...] BEGIN ts END ts BY TIME d STRIDE d
 //	  [BY REGION scheme] [WITH MASK id] INTO name
 func (p *parser) parseSplit() (*SplitStmt, error) {
 	pos := p.peek().Pos
 	if err := p.expectKeyword("SPLIT"); err != nil {
 		return nil, err
 	}
-	cam, err := p.expectIdent()
-	if err != nil {
-		return nil, err
+	st := &SplitStmt{Pos: pos}
+	for {
+		cam, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Cameras = append(st.Cameras, cam.Text)
+		if !p.acceptPunct(",") {
+			break
+		}
 	}
-	st := &SplitStmt{Pos: pos, Camera: cam.Text}
 	if err := p.expectKeyword("BEGIN"); err != nil {
 		return nil, err
 	}
+	var err error
 	if st.Begin, err = p.expectTimestamp(); err != nil {
 		return nil, err
 	}
@@ -232,6 +245,36 @@ func (p *parser) parseSplit() (*SplitStmt, error) {
 			return nil, errf(p.peek().Pos, "expected BY REGION, WITH MASK or INTO, got %s", p.peek())
 		}
 	}
+}
+
+// parseMerge parses:
+//
+//	MERGE chunks_a, chunks_b [, ...] INTO name
+func (p *parser) parseMerge() (*MergeStmt, error) {
+	pos := p.peek().Pos
+	if err := p.expectKeyword("MERGE"); err != nil {
+		return nil, err
+	}
+	st := &MergeStmt{Pos: pos}
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Inputs = append(st.Inputs, id.Text)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	into, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Into = into.Text
+	return st, nil
 }
 
 // parseProcess parses:

@@ -42,7 +42,7 @@ func TestParseListing1(t *testing.T) {
 	}
 
 	sp := prog.Splits[0]
-	if sp.Camera != "camA" || sp.Into != "chunksA" {
+	if len(sp.Cameras) != 1 || sp.Cameras[0] != "camA" || sp.Into != "chunksA" {
 		t.Errorf("split: %+v", sp)
 	}
 	wantBegin := time.Date(2020, 12, 1, 0, 0, 0, 0, time.UTC)

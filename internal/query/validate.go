@@ -1,6 +1,8 @@
 package query
 
 import (
+	"fmt"
+
 	"privid/internal/table"
 )
 
@@ -12,6 +14,9 @@ import (
 func Validate(p *Program) error {
 	chunkSets := map[string]bool{}
 	tables := map[string]bool{}
+	// regionOf records each chunk set's BY REGION scheme name ("" when
+	// unsplit) so MERGE can reject mixing spatially incompatible sets.
+	regionOf := map[string]string{}
 
 	for _, s := range p.Splits {
 		if s.Into == "" {
@@ -21,6 +26,14 @@ func Validate(p *Program) error {
 			return errf(s.Pos, "duplicate chunk set %q", s.Into)
 		}
 		chunkSets[s.Into] = true
+		regionOf[s.Into] = s.Region
+		seenCam := map[string]bool{}
+		for _, cam := range s.Cameras {
+			if seenCam[cam] {
+				return errf(s.Pos, "duplicate camera %q in SPLIT", cam)
+			}
+			seenCam[cam] = true
+		}
 		if !s.End.After(s.Begin) {
 			return errf(s.Pos, "SPLIT END must be after BEGIN")
 		}
@@ -31,6 +44,36 @@ func Validate(p *Program) error {
 		} else if s.Chunk.Seconds <= 0 {
 			return errf(s.Pos, "chunk duration must be positive")
 		}
+	}
+
+	// MERGE statements resolve in order against chunk sets already
+	// defined above (SPLIT outputs and earlier MERGE outputs).
+	for _, m := range p.Merges {
+		if len(m.Inputs) < 2 {
+			return errf(m.Pos, "MERGE requires at least two chunk sets")
+		}
+		seenIn := map[string]bool{}
+		var region string
+		for i, in := range m.Inputs {
+			if !chunkSets[in] {
+				return errf(m.Pos, "MERGE input %q is not a defined chunk set", in)
+			}
+			if seenIn[in] {
+				return errf(m.Pos, "duplicate chunk set %q in MERGE", in)
+			}
+			seenIn[in] = true
+			if i == 0 {
+				region = regionOf[in]
+			} else if regionOf[in] != region {
+				return errf(m.Pos, "MERGE of mismatched region schemes (%q uses %s, %q uses %s)",
+					m.Inputs[0], schemeName(region), in, schemeName(regionOf[in]))
+			}
+		}
+		if chunkSets[m.Into] {
+			return errf(m.Pos, "duplicate chunk set %q", m.Into)
+		}
+		chunkSets[m.Into] = true
+		regionOf[m.Into] = region
 	}
 
 	for _, st := range p.Processes {
@@ -52,7 +95,7 @@ func Validate(p *Program) error {
 		}
 		seen := map[string]bool{}
 		for _, c := range st.Schema {
-			if c.Name == table.ChunkColumn || c.Name == table.RegionColumn {
+			if c.Name == table.ChunkColumn || c.Name == table.RegionColumn || c.Name == table.CameraColumn {
 				return errf(st.Pos, "column name %q is reserved", c.Name)
 			}
 			if seen[c.Name] {
@@ -157,6 +200,14 @@ func validateRel(r RelExpr, tables map[string]bool) error {
 	default:
 		return errf(r.Position(), "unknown relational expression")
 	}
+}
+
+// schemeName renders a BY REGION scheme name for error messages.
+func schemeName(s string) string {
+	if s == "" {
+		return "no region scheme"
+	}
+	return fmt.Sprintf("scheme %q", s)
 }
 
 // builtinArity maps supported builtin scalar functions to their arity.

@@ -43,6 +43,12 @@ type Release struct {
 	Begin, End time.Time
 	// Cameras lists the cameras whose budgets the release consumes.
 	Cameras []string
+	// CamWindows bounds, per camera, the span of that camera's video
+	// the release depends on — the interval its ledger is charged
+	// over. It is each camera's own queried window clipped to
+	// Begin/End; cameras whose window misses the release entirely are
+	// absent (and not charged). Keys equal Cameras.
+	CamWindows map[string][2]time.Time
 	// Epsilon is the budget this release will consume; the engine
 	// fills it from CONSUMING or its default.
 	Epsilon float64
@@ -56,9 +62,9 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		return nil, err
 	}
 	begin, end := cons.Window()
-	cameras := camerasOf(cons)
+	spans := cameraSpans(cons)
 
-	base := Release{Fun: st.Agg.Fun, Begin: begin, End: end, Cameras: cameras}
+	base := Release{Fun: st.Agg.Fun, Begin: begin, End: end}
 
 	if len(st.GroupBy) == 0 {
 		if st.Agg.Fun == query.AggArgmax {
@@ -72,7 +78,7 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		r.Desc = aggDesc(st.Agg, "")
 		r.Raw = raw
 		r.Sensitivity = sens
-		return []Release{r}, nil
+		return []Release{withWindows(r, spans, nil)}, nil
 	}
 
 	if len(st.GroupBy) != 1 {
@@ -117,8 +123,9 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		r.Desc = aggDesc(st.Agg, col)
 		// Fig. 10: ARGMAX sensitivity is max_k Δ(σ_a=k(R)). When the
 		// group column provably partitions the relation by source
-		// branch (a trusted per-table literal), each key's influence
-		// is its own branch's Δ, not the union's sum.
+		// branch (a trusted per-table literal, or the implicit camera
+		// column), each key's influence is its own branch's Δ, not the
+		// union's sum.
 		r.Sensitivity = cons.Delta
 		if kd, ok := cons.KeyDeltas[col]; ok {
 			maxD, covered := 0.0, true
@@ -139,12 +146,24 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		for _, k := range keys {
 			r.Scores = append(r.Scores, Score{Key: k, Raw: float64(len(byKey[k.Key()]))})
 		}
-		return []Release{r}, nil
+		return []Release{withWindows(r, spans, nil)}, nil
 	}
 
+	kd, hasKD := cons.KeyDeltas[col]
+	kc, hasKC := cons.KeyCams[col]
 	var out []Release
 	for i, k := range keys {
-		raw, sens, err := aggregate(st.Agg, tbl.Schema, byKey[k.Key()], cons)
+		// A trusted partition column (per-table literal tags, or the
+		// implicit camera column) confines each key's rows to its own
+		// branch: the release's sensitivity is that branch's ΔP and
+		// only that branch's cameras are charged. Keys outside the
+		// partition can never hold rows, so their releases carry zero
+		// sensitivity and charge nothing.
+		consK := cons
+		if hasKD {
+			consK.Delta = kd[k.Str()]
+		}
+		raw, sens, err := aggregate(st.Agg, tbl.Schema, byKey[k.Key()], consK)
 		if err != nil {
 			return nil, err
 		}
@@ -155,9 +174,72 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		r.Raw = raw
 		r.Sensitivity = sens
 		r.Begin, r.End = windows[i][0], windows[i][1]
-		out = append(out, r)
+		var only []string
+		if hasKC {
+			only = kc[k.Str()]
+			if only == nil {
+				only = []string{}
+			}
+		}
+		out = append(out, withWindows(r, spans, only))
 	}
 	return out, nil
+}
+
+// cameraSpans returns each camera's full queried wall-clock span (the
+// min Begin / max End over its contributing tables).
+func cameraSpans(cons Constraints) map[string][2]time.Time {
+	out := map[string][2]time.Time{}
+	for _, m := range cons.Metas {
+		sp, ok := out[m.Camera]
+		if !ok {
+			out[m.Camera] = [2]time.Time{m.Begin, m.End}
+			continue
+		}
+		if m.Begin.Before(sp[0]) {
+			sp[0] = m.Begin
+		}
+		if m.End.After(sp[1]) {
+			sp[1] = m.End
+		}
+		out[m.Camera] = sp
+	}
+	return out
+}
+
+// withWindows attaches per-camera charge windows to a release: each
+// camera's span clipped to the release's own window, restricted to the
+// `only` set when non-nil. Cameras left with an empty window are
+// dropped — the release provably does not depend on their video.
+func withWindows(r Release, spans map[string][2]time.Time, only []string) Release {
+	var allow map[string]bool
+	if only != nil {
+		allow = make(map[string]bool, len(only))
+		for _, c := range only {
+			allow[c] = true
+		}
+	}
+	r.CamWindows = map[string][2]time.Time{}
+	r.Cameras = nil
+	for cam, sp := range spans {
+		if allow != nil && !allow[cam] {
+			continue
+		}
+		b, e := sp[0], sp[1]
+		if r.Begin.After(b) {
+			b = r.Begin
+		}
+		if r.End.Before(e) {
+			e = r.End
+		}
+		if !e.After(b) {
+			continue
+		}
+		r.CamWindows[cam] = [2]time.Time{b, e}
+		r.Cameras = append(r.Cameras, cam)
+	}
+	sort.Strings(r.Cameras)
+	return r
 }
 
 // aggregate computes one aggregate and its sensitivity over a row set.

@@ -3,6 +3,7 @@ package rel
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"privid/internal/query"
 	"privid/internal/table"
@@ -32,19 +33,54 @@ func execTableRef(rel *query.TableRef, env Env) (*table.Table, Constraints, erro
 	if !ok {
 		return nil, Constraints{}, fmt.Errorf("rel: unknown table %q", rel.Name)
 	}
-	m := inst.Meta
+	if len(inst.Metas) == 0 {
+		return nil, Constraints{}, fmt.Errorf("rel: table %q has no shard metadata", rel.Name)
+	}
+	// Fig. 10's UNION rule composes the per-camera shards: ΔP and C̃s
+	// of the whole table are the sums over shards.
 	cons := Constraints{
-		Delta:   m.Delta(),
-		Size:    m.Size(),
 		Ranges:  map[string]Range{},
 		Trusted: map[string]bool{table.ChunkColumn: true},
-		Buckets: map[string]BucketSpec{
-			table.ChunkColumn: {WidthSec: m.FPS.Seconds(m.ChunkFrames)},
-		},
-		Metas: []TableMeta{m},
+		Buckets: map[string]BucketSpec{},
+		Metas:   append([]TableMeta(nil), inst.Metas...),
+	}
+	for _, m := range inst.Metas {
+		cons.Delta += m.Delta()
+		cons.Size += m.Size()
+	}
+	// The chunk column's bucket width is trusted only when every shard
+	// chunks at the same wall-clock width (a frame-count chunk spec on
+	// cameras with different FPS produces mismatched widths).
+	chunkW := inst.Metas[0].FPS.Seconds(inst.Metas[0].ChunkFrames)
+	uniform := true
+	for _, m := range inst.Metas[1:] {
+		if m.FPS.Seconds(m.ChunkFrames) != chunkW {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		cons.Buckets[table.ChunkColumn] = BucketSpec{WidthSec: chunkW}
 	}
 	if inst.Data.Schema.Has(table.RegionColumn) {
 		cons.Trusted[table.RegionColumn] = true
+	}
+	if inst.Data.Schema.Has(table.CameraColumn) {
+		// Engine-stamped provenance: rows with camera=c can only come
+		// from c's shards, so the column partitions the table with
+		// per-key ΔP equal to each camera's own shard delta.
+		cons.Trusted[table.CameraColumn] = true
+		kd := map[string]float64{}
+		kc := map[string][]string{}
+		for _, m := range inst.Metas {
+			kd[m.Camera] += m.Delta()
+			kc[m.Camera] = []string{m.Camera}
+		}
+		cons.KeyDeltas = map[string]map[string]float64{table.CameraColumn: kd}
+		cons.KeyCams = map[string]map[string][]string{table.CameraColumn: kc}
+		if len(kd) == 1 {
+			cons.LiteralCols = map[string]string{table.CameraColumn: inst.Metas[0].Camera}
+		}
 	}
 	return inst.Data, cons, nil
 }
@@ -111,6 +147,7 @@ func execSelect(rel *query.SelectExpr, env Env) (*table.Table, Constraints, erro
 	}
 	newLiterals := map[string]string{}
 	newKeyDeltas := map[string]map[string]float64{}
+	newKeyCams := map[string]map[string][]string{}
 	for i, it := range rel.Items {
 		switch ex := it.Expr.(type) {
 		case *query.StrLit:
@@ -122,6 +159,9 @@ func execSelect(rel *query.SelectExpr, env Env) (*table.Table, Constraints, erro
 			if kd, ok := cons.KeyDeltas[ex.Name]; ok {
 				newKeyDeltas[names[i]] = kd
 			}
+			if kc, ok := cons.KeyCams[ex.Name]; ok {
+				newKeyCams[names[i]] = kc
+			}
 		}
 	}
 	out.Ranges = newRanges
@@ -129,6 +169,7 @@ func execSelect(rel *query.SelectExpr, env Env) (*table.Table, Constraints, erro
 	out.Buckets = newBuckets
 	out.LiteralCols = newLiterals
 	out.KeyDeltas = newKeyDeltas
+	out.KeyCams = newKeyCams
 	out.DedupKeys = nil
 
 	t := &table.Table{Schema: table.Schema{Cols: cols}}
@@ -456,6 +497,7 @@ func execUnion(rel *query.UnionExpr, env Env) (*table.Table, Constraints, error)
 	}
 	oc.LiteralCols = map[string]string{}
 	oc.KeyDeltas = map[string]map[string]float64{}
+	oc.KeyCams = map[string]map[string][]string{}
 	for _, c := range lt.Schema.Cols {
 		lr, lok := lc.Ranges[c.Name]
 		rr, rok := rc.Ranges[c.Name]
@@ -484,6 +526,15 @@ func execUnion(rel *query.UnionExpr, env Env) (*table.Table, Constraints, error)
 				merged[k] += v
 			}
 			oc.KeyDeltas[c.Name] = merged
+			lcm, rcm := branchCams(lc, c.Name), branchCams(rc, c.Name)
+			cams := make(map[string][]string, len(lcm)+len(rcm))
+			for k, v := range lcm {
+				cams[k] = mergeCams(cams[k], v)
+			}
+			for k, v := range rcm {
+				cams[k] = mergeCams(cams[k], v)
+			}
+			oc.KeyCams[c.Name] = cams
 		}
 		if lv, ok := lc.LiteralCols[c.Name]; ok {
 			if rv, ok2 := rc.LiteralCols[c.Name]; ok2 && rv == lv {
@@ -505,4 +556,34 @@ func branchDeltas(c Constraints, col string) (map[string]float64, bool) {
 		return map[string]float64{v: c.Delta}, true
 	}
 	return nil, false
+}
+
+// branchCams returns the per-key camera attribution of a relation on
+// one column, mirroring branchDeltas: an existing KeyCams entry, or —
+// for a trusted whole-relation constant — the full camera set of the
+// branch under that key.
+func branchCams(c Constraints, col string) map[string][]string {
+	if kc, ok := c.KeyCams[col]; ok && len(kc) > 0 {
+		return kc
+	}
+	if v, ok := c.LiteralCols[col]; ok {
+		return map[string][]string{v: camerasOf(c)}
+	}
+	return nil
+}
+
+// mergeCams unions two sorted camera lists.
+func mergeCams(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, lst := range [2][]string{a, b} {
+		for _, c := range lst {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }

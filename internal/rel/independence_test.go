@@ -44,7 +44,7 @@ func TestSensitivityDataIndependence(t *testing.T) {
 		st := parseSelect(t, q)
 		var want []float64
 		for seed := int64(0); seed < 8; seed++ {
-			env := Env{"tableA": &Instance{Meta: meta, Data: fill(seed, int(seed)*37%200)}}
+			env := Env{"tableA": &Instance{Metas: []TableMeta{meta}, Data: fill(seed, int(seed)*37%200)}}
 			rels, err := ExecuteSelect(st, env)
 			if err != nil {
 				t.Fatalf("query %d seed %d: %v", qi, seed, err)
@@ -90,10 +90,10 @@ func TestReleaseCountDataIndependence(t *testing.T) {
 
 	// Empty table vs table with rows in only one bucket: same release
 	// keys either way.
-	empty := Env{"tableA": &Instance{Meta: meta, Data: table.New(carSchema())}}
+	empty := Env{"tableA": &Instance{Metas: []TableMeta{meta}, Data: table.New(carSchema())}}
 	one := table.New(carSchema())
 	one.Append(table.Row{table.S("AAA"), table.S("RED"), table.N(42), table.N(base + 250)})
-	withRow := Env{"tableA": &Instance{Meta: meta, Data: one}}
+	withRow := Env{"tableA": &Instance{Metas: []TableMeta{meta}, Data: one}}
 
 	re, err := ExecuteSelect(st, empty)
 	if err != nil {

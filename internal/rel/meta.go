@@ -66,10 +66,19 @@ func (m TableMeta) Size() float64 {
 	return float64(m.NumChunks) * float64(m.MaxRows) * float64(regions)
 }
 
-// Instance pairs a materialized table with its trusted metadata.
+// Instance pairs a materialized table with its trusted metadata: one
+// TableMeta per contributing camera shard. Single-camera tables have
+// exactly one; multi-camera tables (SPLIT with a camera list, or
+// MERGE) have one per shard, and their rows carry the trusted implicit
+// camera column attributing each row to its shard.
 type Instance struct {
-	Meta TableMeta
-	Data *table.Table
+	Metas []TableMeta
+	Data  *table.Table
+}
+
+// NewInstance builds an instance over one or more shard metas.
+func NewInstance(data *table.Table, metas ...TableMeta) *Instance {
+	return &Instance{Metas: metas, Data: data}
 }
 
 // Env resolves table names for a SELECT.
@@ -142,8 +151,15 @@ type Constraints struct {
 	// KeyDeltas, when set for a column, partitions the relation: rows
 	// with each recorded value come from branches whose combined ΔP is
 	// the mapped value. This implements Fig. 10's per-key ARGMAX
-	// sensitivity max_k Δ(σ_a=k(R)) across a UNION of tagged tables.
+	// sensitivity max_k Δ(σ_a=k(R)) across a UNION of tagged tables,
+	// and per-release sensitivity for SELECTs grouped by the trusted
+	// camera column of a multi-camera table.
 	KeyDeltas map[string]map[string]float64
+	// KeyCams mirrors KeyDeltas with camera attribution: rows carrying
+	// each recorded value can only have come from the listed cameras,
+	// so a release keyed on that value charges only those cameras'
+	// budgets.
+	KeyCams map[string]map[string][]string
 }
 
 func (c Constraints) clone() Constraints {
@@ -173,6 +189,14 @@ func (c Constraints) clone() Constraints {
 			inner[kk] = vv
 		}
 		out.KeyDeltas[k] = inner
+	}
+	out.KeyCams = make(map[string]map[string][]string, len(c.KeyCams))
+	for k, m := range c.KeyCams {
+		inner := make(map[string][]string, len(m))
+		for kk, vv := range m {
+			inner[kk] = append([]string(nil), vv...)
+		}
+		out.KeyCams[k] = inner
 	}
 	return out
 }

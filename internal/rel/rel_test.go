@@ -47,7 +47,7 @@ func carEnv(t *testing.T) Env {
 	add("BBB", "WHITE", 55, 100)
 	add("CCC", "RED", 38, 110)
 	add("DDD", "SILVER", 61, 120)
-	return Env{"tableA": &Instance{Meta: meta, Data: tbl}}
+	return Env{"tableA": &Instance{Metas: []TableMeta{meta}, Data: tbl}}
 }
 
 func parseSelect(t *testing.T, sel string) *query.SelectStmt {
@@ -228,7 +228,7 @@ func twoCamEnv(t *testing.T) Env {
 	}
 	add("AAA", "RED", 40, 200)
 	add("EEE", "BLUE", 52, 200)
-	env["tableB"] = &Instance{Meta: meta, Data: tblB}
+	env["tableB"] = &Instance{Metas: []TableMeta{meta}, Data: tblB}
 	return env
 }
 
@@ -269,7 +269,7 @@ func TestJoinRequiresDedup(t *testing.T) {
 func TestJoinPrimedTable(t *testing.T) {
 	env := twoCamEnv(t)
 	// Prime tableA with plate ZZZ (never seen by camA).
-	env["tableA"].Data.Append(table.Row{table.S("ZZZ"), table.S("RED"), table.N(0), table.N(float64(env["tableA"].Meta.Begin.Unix()) + 100)})
+	env["tableA"].Data.Append(table.Row{table.S("ZZZ"), table.S("RED"), table.N(0), table.N(float64(env["tableA"].Metas[0].Begin.Unix()) + 100)})
 	st := parseSelect(t, `SELECT COUNT(*) FROM
  (SELECT plate FROM tableA GROUP BY plate) JOIN (SELECT plate FROM tableB GROUP BY plate) ON plate;`)
 	before, err := ExecuteSelect(st, env)
@@ -278,7 +278,7 @@ func TestJoinPrimedTable(t *testing.T) {
 	}
 	// Now the event "ZZZ visible at camB" happens: rows appear ONLY in
 	// tableB.
-	env["tableB"].Data.Append(table.Row{table.S("ZZZ"), table.S("RED"), table.N(33), table.N(float64(env["tableB"].Meta.Begin.Unix()) + 210)})
+	env["tableB"].Data.Append(table.Row{table.S("ZZZ"), table.S("RED"), table.N(33), table.N(float64(env["tableB"].Metas[0].Begin.Unix()) + 210)})
 	after, err := ExecuteSelect(st, env)
 	if err != nil {
 		t.Fatal(err)
@@ -403,7 +403,7 @@ func TestRegionColumnTrusted(t *testing.T) {
 	tbl := table.New(schema)
 	tbl.Append(table.Row{table.N(1), table.N(float64(m.Begin.Unix())), table.S("east")})
 	tbl.Append(table.Row{table.N(2), table.N(float64(m.Begin.Unix())), table.S("west")})
-	env := Env{"tableA": &Instance{Meta: m, Data: tbl}}
+	env := Env{"tableA": &Instance{Metas: []TableMeta{m}, Data: tbl}}
 	st := parseSelect(t, `SELECT region, COUNT(*) FROM tableA GROUP BY region WITH KEYS ["east","west"];`)
 	rels, err := ExecuteSelect(st, env)
 	if err != nil {
@@ -416,9 +416,9 @@ func TestRegionColumnTrusted(t *testing.T) {
 
 func TestConstraintsWindow(t *testing.T) {
 	env := twoCamEnv(t)
-	m := env["tableB"].Meta
+	m := env["tableB"].Metas[0]
 	m.Begin = m.Begin.Add(-time.Hour)
-	env["tableB"].Meta = m
+	env["tableB"].Metas[0] = m
 	st := parseSelect(t, `SELECT COUNT(*) FROM
  (SELECT plate FROM tableA) UNION (SELECT plate FROM tableB);`)
 	rels, err := ExecuteSelect(st, env)

@@ -87,14 +87,35 @@ type releaseJSON struct {
 	NoiseScale  float64    `json:"noise_scale"`
 }
 
+// cameraBudgetJSON is the wire form of one camera's share of a query's
+// privacy cost.
+type cameraBudgetJSON struct {
+	Camera string `json:"camera"`
+	// EpsilonSpent is what this query charged the camera's ledger.
+	EpsilonSpent float64 `json:"epsilon_spent"`
+	// Remaining is the minimum budget left on any charged frame, after
+	// the charge.
+	Remaining float64 `json:"remaining"`
+}
+
 // resultJSON is the wire form of a finished query's outcome.
 type resultJSON struct {
 	Releases     []releaseJSON `json:"releases"`
 	EpsilonSpent float64       `json:"epsilon_spent"`
+	// Cameras reports per-camera budget impact for cross-camera
+	// queries (also present, with one entry, for single-camera ones).
+	Cameras []cameraBudgetJSON `json:"cameras,omitempty"`
 }
 
 func toResultJSON(res *core.Result) *resultJSON {
 	out := &resultJSON{EpsilonSpent: res.EpsilonSpent, Releases: []releaseJSON{}}
+	for _, cb := range res.Cameras {
+		out.Cameras = append(out.Cameras, cameraBudgetJSON{
+			Camera:       cb.Camera,
+			EpsilonSpent: cb.EpsilonSpent,
+			Remaining:    cb.Remaining,
+		})
+	}
 	for _, r := range res.Releases {
 		rj := releaseJSON{
 			Desc:        r.Desc,

@@ -157,6 +157,7 @@ type Column struct {
 const (
 	ChunkColumn  = "chunk"
 	RegionColumn = "region"
+	CameraColumn = "camera"
 )
 
 // Schema is an ordered set of columns.
@@ -173,7 +174,7 @@ func NewSchema(cols ...Column) (Schema, error) {
 		if name == "" {
 			return Schema{}, fmt.Errorf("table: empty column name")
 		}
-		if name == ChunkColumn || name == RegionColumn {
+		if name == ChunkColumn || name == RegionColumn || name == CameraColumn {
 			return Schema{}, fmt.Errorf("table: column name %q is reserved", name)
 		}
 		if seen[name] {
@@ -228,10 +229,22 @@ func (s Schema) DefaultRow() Row {
 // WithImplicit returns a copy of the schema with the implicit chunk
 // column and, if region is true, the implicit region column appended.
 func (s Schema) WithImplicit(region bool) Schema {
+	return s.WithImplicitCols(region, false)
+}
+
+// WithImplicitCols returns a copy of the schema with the implicit
+// trusted columns appended: chunk always, region when the split used
+// BY REGION, and camera when the chunk set spans multiple cameras
+// (multi-camera SPLIT or MERGE) so every row carries engine-stamped
+// provenance.
+func (s Schema) WithImplicitCols(region, camera bool) Schema {
 	cols := append([]Column(nil), s.Cols...)
 	cols = append(cols, Column{Name: ChunkColumn, Type: DNumber, Default: N(0)})
 	if region {
 		cols = append(cols, Column{Name: RegionColumn, Type: DString, Default: S("")})
+	}
+	if camera {
+		cols = append(cols, Column{Name: CameraColumn, Type: DString, Default: S("")})
 	}
 	return Schema{Cols: cols}
 }

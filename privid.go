@@ -79,6 +79,10 @@ type (
 	Result = core.Result
 	// ReleaseResult is one noised data release.
 	ReleaseResult = core.ReleaseResult
+	// CameraBudget is one camera's share of a query's privacy cost
+	// (Result.Cameras): what the query charged that camera's ledger
+	// and the worst-case budget left on the charged frames.
+	CameraBudget = core.CameraBudget
 	// AuditEntry is one entry of the owner's query audit log.
 	AuditEntry = core.AuditEntry
 	// Policy is the (ρ, K) event-duration bound of §5.
