@@ -284,6 +284,84 @@ func BenchmarkMultiCamera_Serial(b *testing.B) { runMultiCamBench(b, true) }
 // wall-clock per op should be ~max(shard), i.e. ~4x below Serial.
 func BenchmarkMultiCamera_Sharded(b *testing.B) { runMultiCamBench(b, false) }
 
+// Observability overhead: the identical end-to-end query at the three
+// instrumentation levels. The contract (DESIGN.md §Observability) is
+// ≤5% Execute overhead with the metrics registry on: hot-path
+// instruments are pre-resolved atomics, so the metrics-only delta is
+// nearly free. Tracing (ExecuteTraced, per-query opt-in — the serving
+// layer's configuration) additionally allocates the span tree; its
+// delta is a few µs per query, visible here only because the bench
+// executable is artificially cheap (~5µs/chunk; real vision workloads
+// are ms-per-chunk).
+
+type obsLevel int
+
+const (
+	obsOff    obsLevel = iota // DisableMetrics, plain Execute
+	obsOn                     // metrics registry live, plain Execute
+	obsTraced                 // metrics + full span trace per query
+)
+
+func runObsOverheadBench(b *testing.B, level obsLevel) {
+	src := privid.NewSceneCamera("campus", privid.CampusProfile(), 1, 10*time.Minute)
+	prog, err := privid.Parse(`
+SPLIT campus BEGIN 3-15-2021/6:00am END 3-15-2021/6:10am
+  BY TIME 30sec STRIDE 0sec INTO c;
+PROCESS c USING headcount TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT AVG(range(n, 0, 30)) FROM t CONSUMING 0.0001;`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Cache disabled: every iteration pays full sandbox cost, so the
+	// comparison covers the per-chunk instrumentation too.
+	engine := privid.New(privid.Options{
+		Seed: 1, ChunkCacheBytes: -1, DisableMetrics: level == obsOff,
+	})
+	if err := engine.RegisterCamera(privid.CameraConfig{
+		Name: "campus", Source: src,
+		Policy:  privid.Policy{Rho: time.Minute, K: 2},
+		Epsilon: 1e9,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.Registry().Register("headcount", func(chunk *privid.Chunk) []privid.Row {
+		n := 0
+		for _, o := range chunk.Frame(chunk.Len() / 2).Objects {
+			if o.EntityID >= 0 {
+				n++
+			}
+		}
+		return []privid.Row{{privid.N(float64(n))}}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if level == obsTraced {
+			if _, _, err := engine.ExecuteTraced(prog, "bench"); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := engine.Execute(prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkObsOverhead_Uninstrumented runs with DisableMetrics (nil
+// instruments, nil spans threaded through everything).
+func BenchmarkObsOverhead_Uninstrumented(b *testing.B) { runObsOverheadBench(b, obsOff) }
+
+// BenchmarkObsOverhead_Metrics runs Execute with the metrics registry
+// live — the ≤5% contract applies to this delta.
+func BenchmarkObsOverhead_Metrics(b *testing.B) { runObsOverheadBench(b, obsOn) }
+
+// BenchmarkObsOverhead_MetricsTraced additionally records a full span
+// trace per query (what the query scheduler does for every job).
+func BenchmarkObsOverhead_MetricsTraced(b *testing.B) { runObsOverheadBench(b, obsTraced) }
+
 // BenchmarkEndToEndQuery measures a complete small query: split,
 // sandboxed processing, aggregation, sensitivity, admission, noise.
 func BenchmarkEndToEndQuery(b *testing.B) {

@@ -36,8 +36,20 @@
 //	max_speed       — one row with the chunk's maximum object speed
 //
 // API summary (JSON): POST /v1/queries, GET /v1/queries/{id}[/result],
-// GET /v1/cameras, GET /v1/cameras/{name}/budget, GET /v1/executables,
-// GET /v1/audit, GET /v1/stats, GET /v1/healthz.
+// GET /v1/queries/{id}/trace, GET /v1/cameras,
+// GET /v1/cameras/{name}/budget, GET /v1/executables, GET /v1/audit,
+// GET /v1/stats, GET /v1/healthz — plus GET /v1/metrics (Prometheus
+// text exposition of scheduler, cache, ledger and latency metrics).
+//
+// Observability: every completed query records a span tree
+// (parse → admission → per-shard processing → noise) served at
+// /v1/queries/{id}/trace; "slow_query_log" in the config appends one
+// JSON line per query slower than "slow_query_threshold_ms". With
+// -debug-addr (or "debug_addr" in the config) the server additionally
+// opens a separate operator-only listener exposing net/http/pprof under
+// /debug/pprof/ and the metrics exposition at /metrics — kept off the
+// analyst-facing address so profiling endpoints are never reachable
+// through the public API. See docs/OPERATIONS.md §"Monitoring".
 package main
 
 import (
@@ -48,6 +60,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -103,6 +116,17 @@ type config struct {
 	// StateDir enables the durable privacy ledger (WAL + snapshots);
 	// empty keeps budgets in memory only.
 	StateDir string `json:"state_dir,omitempty"`
+	// DebugAddr opens a separate operator-only listener serving
+	// net/http/pprof under /debug/pprof/ and the Prometheus exposition
+	// at /metrics; empty disables it.
+	DebugAddr string `json:"debug_addr,omitempty"`
+	// SlowQueryLog appends one JSON line per slow terminal query to
+	// this file; empty disables the slow-query log.
+	SlowQueryLog string `json:"slow_query_log,omitempty"`
+	// SlowQueryThresholdMS is the execution-duration threshold for the
+	// slow-query log, in milliseconds (0 with SlowQueryLog set uses
+	// 1000).
+	SlowQueryThresholdMS float64 `json:"slow_query_threshold_ms,omitempty"`
 	// SnapshotEvery compacts the WAL after this many records (0 =
 	// default, negative disables automatic compaction).
 	SnapshotEvery int `json:"snapshot_every,omitempty"`
@@ -258,11 +282,12 @@ func maxSpeed(chunk *privid.Chunk) []privid.Row {
 
 func main() {
 	var (
-		cfgPath  = flag.String("config", "", "deployment config JSON (default: built-in 3-camera deployment)")
-		addr     = flag.String("addr", "", "listen address (overrides config)")
-		stateDir = flag.String("state-dir", "", "durable ledger directory (overrides config; empty = in-memory budgets)")
-		repair   = flag.Bool("repair", false, "truncate a torn WAL tail to the last valid record before starting")
-		dump     = flag.Bool("dump-config", false, "print the default deployment config and exit")
+		cfgPath   = flag.String("config", "", "deployment config JSON (default: built-in 3-camera deployment)")
+		addr      = flag.String("addr", "", "listen address (overrides config)")
+		stateDir  = flag.String("state-dir", "", "durable ledger directory (overrides config; empty = in-memory budgets)")
+		debugAddr = flag.String("debug-addr", "", "operator-only listener for pprof + /metrics (overrides config; empty = disabled)")
+		repair    = flag.Bool("repair", false, "truncate a torn WAL tail to the last valid record before starting")
+		dump      = flag.Bool("dump-config", false, "print the default deployment config and exit")
 	)
 	flag.Parse()
 
@@ -282,6 +307,9 @@ func main() {
 	}
 	if *stateDir != "" {
 		cfg.StateDir = *stateDir
+	}
+	if *debugAddr != "" {
+		cfg.DebugAddr = *debugAddr
 	}
 	if *repair && cfg.StateDir == "" {
 		// Repairing nothing must not silently boot an in-memory server
@@ -304,12 +332,52 @@ func main() {
 			ci.Name, float64(ci.Frames), int(ci.FPS), ci.Epsilon, ci.Policy.Rho, ci.Policy.K, ci.Masks, ci.Schemes)
 	}
 
-	sched := privid.NewScheduler(engine, privid.SchedulerOptions{
+	schedOpts := privid.SchedulerOptions{
 		Workers:            cfg.Workers,
 		PerAnalystInFlight: cfg.PerAnalystInFlight,
 		QueueDepth:         cfg.QueueDepth,
 		MaxFinishedJobs:    cfg.MaxFinishedJobs,
-	})
+	}
+	var slowFile *os.File
+	if cfg.SlowQueryLog != "" {
+		slowFile, err = os.OpenFile(cfg.SlowQueryLog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatalf("privid-server: slow-query log: %v", err)
+		}
+		defer slowFile.Close()
+		threshold := time.Duration(cfg.SlowQueryThresholdMS * float64(time.Millisecond))
+		if threshold <= 0 {
+			threshold = time.Second
+		}
+		schedOpts.SlowQueryLog = slowFile
+		schedOpts.SlowQueryThreshold = threshold
+		log.Printf("slow-query log at %s (threshold %s)", cfg.SlowQueryLog, threshold)
+	}
+	sched := privid.NewScheduler(engine, schedOpts)
+
+	// The debug listener is opt-in and separate from the analyst API:
+	// pprof exposes heap contents and the operator may not want the
+	// metrics exposition on the public address either.
+	var debugSrv *http.Server
+	if cfg.DebugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = engine.Metrics().WriteTo(w)
+		})
+		debugSrv = &http.Server{Addr: cfg.DebugAddr, Handler: mux}
+		go func() {
+			log.Printf("debug listener (pprof, /metrics) on %s", cfg.DebugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("privid-server: debug listener: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("serving on %s", cfg.Addr)
 	srv := &http.Server{
@@ -342,7 +410,10 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("privid-server: http shutdown: %v", err)
 		}
-		sched.Close()
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
+		sched.Close() // drains jobs, syncs the slow-query log
 		if err := engine.Close(); err != nil {
 			log.Printf("privid-server: state close: %v", err)
 		} else if cfg.StateDir != "" {

@@ -93,7 +93,7 @@ func runProcessTable(t *testing.T, e *Engine, prog *query.Program) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := e.runProcess(prog.Processes[0], plan)
+	inst, err := e.runProcess(prog.Processes[0], plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -17,6 +19,7 @@ import (
 	"privid/internal/cache"
 	"privid/internal/dp"
 	"privid/internal/mask"
+	"privid/internal/obs"
 	"privid/internal/policy"
 	"privid/internal/region"
 	"privid/internal/sandbox"
@@ -110,6 +113,16 @@ type Options struct {
 	// tests). Takes precedence over StateDir; no recovery is
 	// performed.
 	Store store.Store
+	// Metrics supplies the metrics registry the engine instruments
+	// itself into — share one registry between the engine and a serving
+	// layer so scheduler and engine families render in one exposition.
+	// Nil creates a fresh registry unless DisableMetrics is set.
+	Metrics *obs.Registry
+	// DisableMetrics turns off all metrics instrumentation (nil
+	// registry: every instrument call becomes a nil-receiver no-op).
+	// Exists for overhead baselines (BenchmarkObsOverhead) and
+	// minimal-footprint library use; leave it false in deployments.
+	DisableMetrics bool
 	// Now overrides the audit-log clock (tests only; nil = time.Now).
 	Now func() time.Time
 }
@@ -133,6 +146,11 @@ type Engine struct {
 	// concrete WAL when StateDir is set (recovery and snapshots).
 	store store.Store
 	wal   *store.WAL
+	// metrics is the exposition registry (nil with DisableMetrics); met
+	// holds the hot-path instruments (always non-nil, fields no-op when
+	// metrics are disabled).
+	metrics *obs.Registry
+	met     *engineMetrics
 
 	mu      sync.Mutex
 	cameras map[string]*camera
@@ -183,6 +201,12 @@ func Open(opts Options) (*Engine, error) {
 	if opts.ChunkCacheBytes > 0 {
 		cc = cache.New(opts.ChunkCacheBytes)
 	}
+	reg := opts.Metrics
+	if opts.DisableMetrics {
+		reg = nil
+	} else if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	st := store.Store(store.NullStore{})
 	var wal *store.WAL
 	switch {
@@ -197,6 +221,7 @@ func Open(opts Options) (*Engine, error) {
 		w, err := store.Open(opts.StateDir, store.Options{
 			GroupCommit:   true,
 			SnapshotEvery: opts.SnapshotEvery,
+			Metrics:       storeMetrics(reg),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: open state dir: %w", err)
@@ -211,6 +236,8 @@ func Open(opts Options) (*Engine, error) {
 		procSem:    make(chan struct{}, opts.Parallelism),
 		store:      st,
 		wal:        wal,
+		metrics:    reg,
+		met:        newEngineMetrics(reg),
 		cameras:    map[string]*camera{},
 		noise:      dp.NewNoise(opts.Seed),
 	}
@@ -228,15 +255,35 @@ func Open(opts Options) (*Engine, error) {
 			})
 		}
 	}
+	if reg != nil {
+		e.registerCollectors(reg)
+	}
 	return e, nil
 }
 
 // Close takes a final snapshot of the durable state (when enabled) and
-// closes the store. The engine must be idle: callers drain their
-// scheduler first.
+// closes the store, then writes a final metrics exposition to
+// StateDir/metrics.prom (best-effort) so the last scrape interval's
+// counters survive shutdown. The engine must be idle: callers drain
+// their scheduler first. The metrics registry stays scrapeable after
+// Close — every collector reads state that remains valid on a closed
+// engine.
 func (e *Engine) Close() error {
-	return e.store.Close()
+	err := e.store.Close()
+	if e.metrics != nil && e.opts.StateDir != "" {
+		// Best-effort: the snapshot is diagnostic and never fails Close.
+		if f, ferr := os.Create(filepath.Join(e.opts.StateDir, "metrics.prom")); ferr == nil {
+			_, _ = e.metrics.WriteTo(f)
+			_ = f.Close()
+		}
+	}
+	return err
 }
+
+// Metrics returns the engine's metrics registry (nil when Options
+// disabled metrics). Serving layers register their own families in it
+// and expose it at /v1/metrics.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // StateStore returns the engine's durable store — store.NullStore when
 // durability is off — for co-located serving layers (the scheduler
@@ -362,6 +409,36 @@ func (e *Engine) Cameras() []CameraInfo {
 		}
 		sort.Strings(ci.Schemes)
 		out = append(out, ci)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CameraBudgetStatus summarizes one camera's lifetime privacy budget
+// for deployment dashboards (the serving layer's stats endpoint and the
+// per-camera metrics gauges report the same numbers). Unlike
+// CameraBudget it describes the camera's standing state, not one
+// query's charge.
+type CameraBudgetStatus struct {
+	Name    string
+	Epsilon float64
+	// Remaining is the worst-case remaining per-frame budget over every
+	// frame any query has charged or reserved (Epsilon when untouched).
+	Remaining float64
+}
+
+// CameraBudgets reports each camera's configured ε and worst-case
+// remaining budget, sorted by name.
+func (e *Engine) CameraBudgets() []CameraBudgetStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]CameraBudgetStatus, 0, len(e.cameras))
+	for _, cam := range e.cameras {
+		out = append(out, CameraBudgetStatus{
+			Name:      cam.cfg.Name,
+			Epsilon:   cam.cfg.Epsilon,
+			Remaining: cam.ledger.MinRemaining(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"privid/internal/dp"
+	"privid/internal/obs"
 	"privid/internal/policy"
 	"privid/internal/query"
 	"privid/internal/rel"
@@ -114,7 +116,7 @@ type splitPlan struct {
 // releases. On budget exhaustion the query is denied as a whole and
 // nothing is consumed on any camera.
 func (e *Engine) Execute(prog *query.Program) (*Result, error) {
-	return e.execute(prog, "", nil)
+	return e.execute(prog, "", nil, nil)
 }
 
 // ExecuteTagged runs prog like Execute, tagging its WAL charge records
@@ -122,14 +124,44 @@ func (e *Engine) Execute(prog *query.Program) (*Result, error) {
 // ledger ties every ε debit to the query that caused it. An empty tag
 // falls back to a fingerprint of the charge set.
 func (e *Engine) ExecuteTagged(prog *query.Program, tag string) (*Result, error) {
-	return e.execute(prog, tag, nil)
+	return e.execute(prog, tag, nil, nil)
+}
+
+// ExecuteTraced runs prog like ExecuteTagged and additionally records
+// a span tree of the execution: one span per pipeline stage, one child
+// span per camera shard of each PROCESS (with cache hit/miss counts
+// and sandbox time), and admission/commit outcomes. The trace is
+// returned even when execution fails, so denials and errors are
+// diagnosable. Trace attributes carry only identifiers, counts,
+// durations and ε amounts — never released values or row contents.
+func (e *Engine) ExecuteTraced(prog *query.Program, tag string) (*Result, *obs.Trace, error) {
+	tr := obs.NewTrace("query", nil)
+	res, err := e.execute(prog, tag, nil, tr.Root())
+	if err != nil {
+		tr.Root().Set("error", err.Error())
+	}
+	tr.Finish()
+	return res, tr, err
 }
 
 // execute optionally filters which releases are emitted (and paid
 // for); a nil filter keeps everything. Standing queries use the filter
 // to release only newly completed buckets (Appendix D's streaming
-// semantics).
-func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release) bool) (*Result, error) {
+// semantics). sp, when non-nil, receives one child span per pipeline
+// stage.
+func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release) bool, sp *obs.Span) (*Result, error) {
+	start := time.Now()
+	res, err := e.executeStages(prog, tag, keep, sp)
+	e.met.queryDone(res, err, time.Since(start))
+	return res, err
+}
+
+// executeStages is the pipeline body of execute; see Execute for
+// semantics and the admission comment below for crash-safety ordering.
+func (e *Engine) executeStages(prog *query.Program, tag string, keep func(rel.Release) bool, sp *obs.Span) (*Result, error) {
+	stageStart := time.Now()
+	splitSp := sp.Child("split")
+	defer splitSp.End()
 	plans := map[string]*splitPlan{}
 	for _, st := range prog.Splits {
 		p, err := e.resolveSplit(st)
@@ -154,18 +186,29 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 		}
 		plans[m.Into] = merged
 	}
+	splitSp.Set("chunk_sets", len(plans))
+	splitSp.End()
+	e.met.stage("split", time.Since(stageStart))
 
+	stageStart = time.Now()
 	env := rel.Env{}
 	for _, st := range prog.Processes {
-		inst, err := e.runProcess(st, plans[st.Input])
+		procSp := sp.Child("process")
+		procSp.Set("table", st.Into)
+		inst, err := e.runProcess(st, plans[st.Input], procSp)
+		procSp.End()
 		if err != nil {
 			return nil, err
 		}
 		env[st.Into] = inst
 	}
+	e.met.stage("process", time.Since(stageStart))
 
 	// Execute every SELECT to releases first, then admit the whole
 	// program's budget atomically, then add noise.
+	stageStart = time.Now()
+	aggSp := sp.Child("aggregate")
+	defer aggSp.End()
 	type pending struct {
 		rel rel.Release
 	}
@@ -188,6 +231,9 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 			pendings = append(pendings, pending{rel: r})
 		}
 	}
+	aggSp.Set("releases", len(pendings))
+	aggSp.End()
+	e.met.stage("aggregate", time.Since(stageStart))
 
 	// Build per-camera charges. Each release charges every camera it
 	// depends on, over that camera's own charge window (its queried
@@ -233,6 +279,20 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 	// A crash between 2 and 3 leaves charges on disk for a result
 	// nobody received: recovery over-charges (at-least-once), never
 	// under-charges.
+	stageStart = time.Now()
+	admitSp := sp.Child("admit")
+	defer admitSp.End()
+	for _, camName := range camNames {
+		var eps float64
+		for _, c := range charges[camName] {
+			eps += c.Eps
+		}
+		camSp := admitSp.Child("reserve")
+		camSp.Set("camera", camName)
+		camSp.Set("charges", len(charges[camName]))
+		camSp.Set("epsilon", eps)
+		camSp.End()
+	}
 	e.mu.Lock()
 	demands := make([]dp.Demand, 0, len(camNames))
 	for _, camName := range camNames {
@@ -249,6 +309,12 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 		e.recordAudit(denied)
 		e.mu.Unlock()
 		e.persistDeniedAudit(denied)
+		admitSp.Set("outcome", "denied")
+		admitSp.Set("reason", err.Error())
+		var exhausted *dp.ErrBudgetExhausted
+		if errors.As(err, &exhausted) {
+			admitSp.Set("denied_camera", exhausted.Camera)
+		}
 		return nil, err
 	}
 	// Stamp the audit time under the lock: Options.Now test clocks
@@ -256,6 +322,9 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 	// holds e.mu.
 	at := e.clock()
 	e.mu.Unlock()
+	admitSp.Set("outcome", "reserved")
+	admitSp.End()
+	e.met.stage("admit", time.Since(stageStart))
 
 	if tag == "" {
 		tag = chargeFingerprint(camNames, charges)
@@ -282,6 +351,10 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 		Releases:     len(pendings),
 		EpsilonSpent: totalEps,
 	}})
+	stageStart = time.Now()
+	commitSp := sp.Child("wal_commit")
+	commitSp.Set("records", len(recs))
+	defer commitSp.End()
 	if err := e.store.Commit(recs...); err != nil {
 		e.mu.Lock()
 		resv.Release()
@@ -290,9 +363,15 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 			Reason: "charge not persisted: " + err.Error(),
 		})
 		e.mu.Unlock()
+		commitSp.Set("outcome", "failed")
 		return nil, fmt.Errorf("core: charge not persisted, result withheld: %w", err)
 	}
+	commitSp.End()
+	e.met.stage("wal_commit", time.Since(stageStart))
 
+	stageStart = time.Now()
+	noiseSp := sp.Child("noise")
+	defer noiseSp.End()
 	e.mu.Lock()
 	resv.Finalize()
 	res := &Result{}
@@ -318,6 +397,10 @@ func (e *Engine) execute(prog *query.Program, tag string, keep func(rel.Release)
 		EpsilonSpent: res.EpsilonSpent,
 	})
 	e.mu.Unlock()
+	noiseSp.Set("releases", len(res.Releases))
+	noiseSp.Set("epsilon", res.EpsilonSpent)
+	noiseSp.End()
+	e.met.stage("noise", time.Since(stageStart))
 	return res, nil
 }
 
@@ -520,7 +603,7 @@ func (e *Engine) resolveShard(st *query.SplitStmt, camName string) (*splitShard,
 // Caching affects only how fast the table materializes — admission and
 // noise downstream never observe whether a row came from the sandbox
 // or the cache.
-func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instance, error) {
+func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, sp *obs.Span) (*rel.Instance, error) {
 	if plan == nil || len(plan.shards) == 0 {
 		return nil, fmt.Errorf("core: PROCESS input %q has no SPLIT", st.Input)
 	}
@@ -554,7 +637,7 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instan
 
 	if len(plan.shards) == 1 || e.opts.SerialShards {
 		for _, sh := range plan.shards {
-			data.Append(e.runShard(sh, st, exec, schema, hasRegion, plan.multi, shardPar)...)
+			data.Append(e.runShard(sh, st, exec, schema, hasRegion, plan.multi, shardPar, sp)...)
 		}
 	} else {
 		// Sharded fan-out with a streaming aggregator: shards complete
@@ -568,7 +651,7 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instan
 		ch := make(chan partial, len(plan.shards))
 		for i, sh := range plan.shards {
 			go func(i int, sh *splitShard) {
-				ch <- partial{idx: i, rows: e.runShard(sh, st, exec, schema, hasRegion, plan.multi, shardPar)}
+				ch <- partial{idx: i, rows: e.runShard(sh, st, exec, schema, hasRegion, plan.multi, shardPar, sp)}
 			}(i, sh)
 		}
 		buffered := make(map[int][]table.Row, len(plan.shards))
@@ -614,12 +697,28 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan) (*rel.Instan
 // camera shard and returns the stamped rows in deterministic chunk
 // order. par bounds the shard's concurrent sandbox executions (the
 // per-camera bound of the sharded executor); the engine-wide procSem
-// still bounds the total across all shards and queries.
+// still bounds the total across all shards and queries. Each shard
+// records one child span under the PROCESS span (concurrent shards
+// annotate sibling spans; Span is mutex-guarded).
 func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Executor,
-	schema table.Schema, hasRegion, multi bool, par int) []table.Row {
+	schema table.Schema, hasRegion, multi bool, par int, psp *obs.Span) []table.Row {
 	var out []table.Row
 	camName := sh.cam.cfg.Name
 	camVal := table.S(camName)
+	// Per-chunk tallies accumulate in shard-local atomics (the chunk
+	// workers run concurrently) and land on the span once per shard,
+	// keeping the span's mutex off the per-chunk hot path.
+	var hits, misses, sandboxNanos atomic.Int64
+	ssp := psp.Child("shard")
+	defer ssp.End()
+	if ssp != nil {
+		ssp.Set("camera", camName)
+		chunks := 0
+		for _, split := range sh.splits {
+			chunks += len(split.ActiveChunks())
+		}
+		ssp.Set("chunks", chunks)
+	}
 	for _, split := range sh.splits {
 		ords := split.ActiveChunks()
 		rowsByOrd := make([][]table.Row, len(ords))
@@ -639,7 +738,12 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 				key = keyPrefix + chunkKeySuffix(chunk.Interval)
 				rows, hit = e.chunkCache.Get(key)
 			}
-			if !hit {
+			if hit {
+				hits.Add(1)
+			} else {
+				if e.chunkCache != nil {
+					misses.Add(1)
+				}
 				// The engine-wide semaphore keeps the total number of
 				// in-flight sandbox executions — across every query
 				// running concurrently — at Parallelism, so serving
@@ -665,7 +769,11 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 				runExec := exec
 				runExec.Done = release
 				var clean bool
+				execStart := time.Now()
 				rows, clean = runExec.RunChecked(chunk)
+				execDur := time.Since(execStart)
+				e.met.sandbox(execDur, clean)
+				sandboxNanos.Add(int64(execDur))
 				// Arm the grace backstop only when the slot is still
 				// held — a panic's goroutine has already exited and
 				// released, so it needs no timer. (A release racing
@@ -715,6 +823,14 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 		for _, rows := range rowsByOrd {
 			out = append(out, rows...)
 		}
+	}
+	if ssp != nil {
+		if e.chunkCache != nil {
+			ssp.Add("cache_hits", float64(hits.Load()))
+			ssp.Add("cache_misses", float64(misses.Load()))
+		}
+		ssp.Add("sandbox_seconds", time.Duration(sandboxNanos.Load()).Seconds())
+		ssp.Set("rows", len(out))
 	}
 	return out
 }

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"privid/internal/dp"
+	"privid/internal/obs"
+	"privid/internal/store"
+)
+
+// commitRecordBuckets is the bucket layout of the WAL batch-size
+// histogram (records per durable append, powers of two up to the group
+// committer's maxGroupBatch).
+var commitRecordBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// engineMetrics holds the engine's hot-path instruments. All fields
+// no-op when nil, so an engine built with DisableMetrics (or a nil
+// registry) pays only nil checks. Privacy: every instrument here
+// carries counts, durations or ε amounts already present in the audit
+// log — never noised values, raw aggregates or row contents.
+type engineMetrics struct {
+	// querySeconds observes end-to-end execution latency per outcome
+	// (ok, denied, error).
+	querySeconds *obs.HistogramVec
+	// stageSeconds observes per-stage latency (split, process,
+	// aggregate, admit, wal_commit, noise). The serving layer reuses the
+	// same family for its stages (parse, queue_wait).
+	stageSeconds *obs.HistogramVec
+	// queries counts executions by outcome.
+	queries *obs.CounterVec
+	// releases counts noised data releases handed to analysts.
+	releases *obs.Counter
+	// epsSpent accumulates ε charged per camera.
+	epsSpent *obs.CounterVec
+	// sandboxSeconds observes individual sandboxed chunk executions
+	// (cache hits bypass it entirely).
+	sandboxSeconds *obs.Histogram
+	// sandboxRuns counts sandbox executions by result: "clean", or
+	// "fallback" when the executable timed out or panicked and the
+	// contract substituted default rows.
+	sandboxRuns *obs.CounterVec
+
+	// Hot-path children, resolved once here so the per-chunk and
+	// per-stage paths skip the family's locked label lookup. The vecs
+	// above stay for labels not known at construction (cameras) and as
+	// the fallback for unexpected stage names.
+	sandboxClean    *obs.Counter
+	sandboxFallback *obs.Counter
+	stages          map[string]*obs.Histogram
+}
+
+// engineStages is the fixed set of pipeline stages the engine times.
+// The serving layer adds its own (parse, queue_wait) to the same
+// family.
+var engineStages = []string{"split", "process", "aggregate", "admit", "wal_commit", "noise"}
+
+// newEngineMetrics registers the engine's instrument families in reg.
+// A nil reg yields all-nil (no-op) instruments.
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	m := &engineMetrics{
+		querySeconds: reg.HistogramVec("privid_query_seconds",
+			"End-to-end query execution latency by outcome.", nil, "outcome"),
+		stageSeconds: reg.HistogramVec("privid_query_stage_seconds",
+			"Query latency by pipeline stage.", nil, "stage"),
+		queries: reg.CounterVec("privid_queries_total",
+			"Query executions by outcome (ok, denied, error).", "outcome"),
+		releases: reg.Counter("privid_releases_total",
+			"Noised data releases returned to analysts."),
+		epsSpent: reg.CounterVec("privid_epsilon_spent_total",
+			"Privacy budget charged, per camera.", "camera"),
+		sandboxSeconds: reg.Histogram("privid_sandbox_exec_seconds",
+			"Sandboxed chunk execution latency (cache hits excluded).", nil),
+		sandboxRuns: reg.CounterVec("privid_sandbox_runs_total",
+			"Sandbox executions by result (clean, fallback).", "result"),
+	}
+	if reg != nil {
+		m.sandboxClean = m.sandboxRuns.With("clean")
+		m.sandboxFallback = m.sandboxRuns.With("fallback")
+		m.stages = make(map[string]*obs.Histogram, len(engineStages))
+		for _, s := range engineStages {
+			m.stages[s] = m.stageSeconds.With(s)
+		}
+	}
+	return m
+}
+
+// stage observes one pipeline stage's duration.
+func (m *engineMetrics) stage(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if h, ok := m.stages[name]; ok {
+		h.Observe(d.Seconds())
+		return
+	}
+	m.stageSeconds.With(name).Observe(d.Seconds())
+}
+
+// sandbox observes one sandboxed chunk execution.
+func (m *engineMetrics) sandbox(d time.Duration, clean bool) {
+	if m == nil {
+		return
+	}
+	m.sandboxSeconds.Observe(d.Seconds())
+	if clean {
+		m.sandboxClean.Inc()
+	} else {
+		m.sandboxFallback.Inc()
+	}
+}
+
+// queryDone classifies one finished execution. Budget denials count as
+// "denied"; everything else that failed is "error" (including a
+// persistence failure, which withholds the result like a denial but is
+// an operational fault, not a privacy decision).
+func (m *engineMetrics) queryDone(res *Result, err error, d time.Duration) {
+	if m == nil {
+		return
+	}
+	outcome := "ok"
+	var exhausted *dp.ErrBudgetExhausted
+	switch {
+	case err == nil:
+	case errors.As(err, &exhausted):
+		outcome = "denied"
+	default:
+		outcome = "error"
+	}
+	m.queries.With(outcome).Inc()
+	m.querySeconds.With(outcome).Observe(d.Seconds())
+	if res != nil {
+		m.releases.Add(float64(len(res.Releases)))
+		for _, cb := range res.Cameras {
+			m.epsSpent.With(cb.Camera).Add(cb.EpsilonSpent)
+		}
+	}
+}
+
+// storeMetrics builds the WAL's instrument set against reg (all no-op
+// when reg is nil).
+func storeMetrics(reg *obs.Registry) store.Metrics {
+	return store.Metrics{
+		AppendSeconds: reg.Histogram("privid_wal_append_seconds",
+			"Durable WAL append latency (write + fsync).", nil),
+		FsyncSeconds: reg.Histogram("privid_wal_fsync_seconds",
+			"WAL fsync latency.", nil),
+		CommitRecords: reg.Histogram("privid_wal_commit_records",
+			"Records per durable WAL append (group-commit batch size).",
+			commitRecordBuckets),
+	}
+}
+
+// registerCollectors installs the engine's scrape-time collectors:
+// sandbox pool occupancy, chunk-cache counters, per-camera budget
+// gauges, and WAL state. Called exactly once, at the end of Open —
+// never later, and never under e.mu — so a scrape (which runs the
+// collectors under the registry's read lock) can safely take e.mu
+// without lock-order inversion against registration.
+func (e *Engine) registerCollectors(reg *obs.Registry) {
+	reg.GaugeFunc("privid_sandbox_inflight",
+		"Sandbox executions currently holding a parallelism slot.",
+		func() float64 { return float64(len(e.procSem)) })
+
+	cacheStat := func(f func() float64) func(obs.Emit) {
+		return func(emit obs.Emit) { emit(nil, f()) }
+	}
+	reg.CollectFunc("privid_chunk_cache_hits_total",
+		"Chunk-result cache hits.", obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.CacheStats().Hits) }))
+	reg.CollectFunc("privid_chunk_cache_misses_total",
+		"Chunk-result cache misses.", obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.CacheStats().Misses) }))
+	reg.CollectFunc("privid_chunk_cache_evictions_total",
+		"Chunk-result cache evictions.", obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.CacheStats().Evictions) }))
+	reg.CollectFunc("privid_chunk_cache_entries",
+		"Chunk-result cache resident entries.", obs.TypeGauge, nil,
+		cacheStat(func() float64 { return float64(e.CacheStats().Entries) }))
+	reg.CollectFunc("privid_chunk_cache_bytes",
+		"Chunk-result cache resident bytes.", obs.TypeGauge, nil,
+		cacheStat(func() float64 { return float64(e.CacheStats().Bytes) }))
+
+	// One collector enumerates the cameras per scrape rather than
+	// registering a child per RegisterCamera call: registration under
+	// e.mu must never touch the registry lock (see package obs).
+	perCamera := func(value func(*camera) float64) func(obs.Emit) {
+		return func(emit obs.Emit) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			names := make([]string, 0, len(e.cameras))
+			for name := range e.cameras {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				emit([]string{name}, value(e.cameras[name]))
+			}
+		}
+	}
+	reg.CollectFunc("privid_camera_epsilon_budget",
+		"Configured per-frame privacy budget, per camera.",
+		obs.TypeGauge, []string{"camera"},
+		perCamera(func(c *camera) float64 { return c.cfg.Epsilon }))
+	reg.CollectFunc("privid_camera_epsilon_remaining",
+		"Worst-case remaining per-frame budget over all charged frames, per camera.",
+		obs.TypeGauge, []string{"camera"},
+		perCamera(func(c *camera) float64 { return c.ledger.MinRemaining() }))
+
+	if e.wal != nil {
+		reg.GaugeFunc("privid_wal_bytes",
+			"Active WAL generation size in bytes.",
+			func() float64 { return float64(e.wal.Info().WALBytes) })
+		reg.GaugeFunc("privid_wal_generation",
+			"Active WAL generation (advances on compaction).",
+			func() float64 { return float64(e.wal.Info().Gen) })
+		reg.GaugeFunc("privid_wal_records_since_snapshot",
+			"WAL records the next compaction will fold into the snapshot.",
+			func() float64 { return float64(e.wal.Info().RecordsSinceSnapshot) })
+		reg.CollectFunc("privid_wal_snapshots_total",
+			"WAL compactions taken by this process.", obs.TypeCounter, nil,
+			func(emit obs.Emit) { emit(nil, float64(e.wal.Info().Snapshots)) })
+	}
+}

@@ -57,7 +57,7 @@ func TestMultiCameraProvenanceColumn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := e.runProcess(prog.Processes[0], plan)
+	inst, err := e.runProcess(prog.Processes[0], plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestMultiCameraProvenanceColumn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sInst, err := e.runProcess(single.Processes[0], sPlan)
+	sInst, err := e.runProcess(single.Processes[0], sPlan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestShardedMatchesSerialTables(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		inst, err := e.runProcess(prog.Processes[0], plan)
+		inst, err := e.runProcess(prog.Processes[0], plan, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

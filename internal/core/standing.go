@@ -59,7 +59,7 @@ func (sq *StandingQuery) Advance(now time.Time) (*Result, error) {
 		}
 		newly = append(newly, k)
 		return true
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}

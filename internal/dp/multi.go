@@ -75,6 +75,36 @@ func (m *MultiReserve) Release() {
 	m.held = nil
 }
 
+// MinRemaining returns the worst-case unspent budget over every frame
+// the ledger has ever charged or reserved — the single number an
+// operator dashboard should watch per camera. A ledger with no charges
+// reports the full per-frame budget.
+func (l *Ledger) MinRemaining() float64 {
+	has := l.spent.Breakpoints() > 0
+	lo, hi := l.spent.Bounds()
+	for _, res := range l.reserved {
+		for _, c := range res.charges {
+			if c.Interval.Empty() {
+				continue
+			}
+			if !has || c.Interval.Start < lo {
+				lo = c.Interval.Start
+			}
+			if !has || c.Interval.End > hi {
+				hi = c.Interval.End
+			}
+			has = true
+		}
+	}
+	if !has {
+		return l.epsilon
+	}
+	// hi+1 so the last breakpoint frame itself is covered; the extra
+	// frame beyond any charge carries zero spend and cannot lower the
+	// maximum.
+	return l.RemainingOver(vtime.NewInterval(lo, hi+1))
+}
+
 // RemainingOver returns the minimum unspent budget across every frame
 // of an interval, counting outstanding reservations as spent — the
 // number a per-camera budget report should show for a query's charged

@@ -105,3 +105,30 @@ func TestRemainingOver(t *testing.T) {
 		t.Errorf("RemainingOver(empty) = %v, want 1.0", got)
 	}
 }
+
+// MinRemaining reports the worst-case headroom over everything the
+// ledger has ever charged or reserved — the operator dashboard number.
+func TestMinRemaining(t *testing.T) {
+	l := NewLedger("camA", 1.0)
+	if got := l.MinRemaining(); got != 1.0 {
+		t.Errorf("fresh ledger MinRemaining = %v, want 1.0", got)
+	}
+	l.Spend(charge(0, 100, 0.3))
+	l.Spend(charge(50, 150, 0.2)) // worst frames: [50,100) at 0.5 spent
+	if got := l.MinRemaining(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MinRemaining = %v, want 0.5", got)
+	}
+	// A reservation beyond the spent bounds extends the watched window
+	// and counts as spent.
+	id, err := l.Reserve(charge(500, 600, 0.7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.MinRemaining(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("MinRemaining with reservation = %v, want 0.3", got)
+	}
+	l.Release(id)
+	if got := l.MinRemaining(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MinRemaining after release = %v, want 0.5", got)
+	}
+}

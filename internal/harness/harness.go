@@ -18,11 +18,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"privid/internal/core"
 	"privid/internal/geom"
+	"privid/internal/obs"
 	"privid/internal/policy"
 	"privid/internal/scene"
 	"privid/internal/server"
@@ -406,4 +408,62 @@ func (h *H) State() StateInfo {
 	var out StateInfo
 	h.get("/v1/state", http.StatusOK, &out)
 	return out
+}
+
+// Metrics fetches the Prometheus text exposition over HTTP, asserting
+// status and content type.
+func (h *H) Metrics() string {
+	h.T.Helper()
+	resp, err := http.Get(h.Srv.URL + "/v1/metrics")
+	if err != nil {
+		h.T.Fatalf("GET /v1/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		h.T.Fatalf("GET /v1/metrics: status %d (body: %s)", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		h.T.Fatalf("GET /v1/metrics: content type %q, want Prometheus text 0.0.4", ct)
+	}
+	return string(body)
+}
+
+// Trace fetches a terminal job's span tree over HTTP.
+func (h *H) Trace(id string) obs.SpanTree {
+	h.T.Helper()
+	var out obs.SpanTree
+	h.get("/v1/queries/"+id+"/trace", http.StatusOK, &out)
+	return out
+}
+
+// SchedStats is the scheduler's load snapshot as served in /v1/stats.
+type SchedStats struct {
+	Workers     int
+	Queued      int
+	Running     int
+	Done        int64
+	Failed      int64
+	Submitted   int64
+	Recovered   int64
+	SlowQueries int64
+}
+
+// StatsCamera is one camera's budget summary as served in /v1/stats.
+type StatsCamera struct {
+	Name      string  `json:"name"`
+	Epsilon   float64 `json:"epsilon"`
+	Remaining float64 `json:"remaining"`
+}
+
+// Stats fetches the stats endpoint: scheduler load and per-camera
+// budget standing.
+func (h *H) Stats() (SchedStats, []StatsCamera) {
+	h.T.Helper()
+	var out struct {
+		Scheduler SchedStats    `json:"scheduler"`
+		Cameras   []StatsCamera `json:"cameras"`
+	}
+	h.get("/v1/stats", http.StatusOK, &out)
+	return out.Scheduler, out.Cameras
 }

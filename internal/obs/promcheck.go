@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text-format (version 0.0.4)
+// exposition: comment/HELP/TYPE structure, metric-name and label
+// syntax, parseable sample values, and that histogram series use only
+// the _bucket/_sum/_count suffixes of a declared histogram family. It
+// returns the number of distinct metric families seen.
+//
+// This is deliberately a small validator, not a full parser: CI uses it
+// to assert that /v1/metrics stays scrapeable, and tests use the family
+// count to assert coverage.
+func CheckExposition(r io.Reader) (families int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := map[string]string{} // family name -> TYPE
+	seen := map[string]bool{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return 0, fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			if !validMetricName(fields[2]) {
+				return 0, fmt.Errorf("line %d: invalid metric name %q", line, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return 0, fmt.Errorf("line %d: TYPE missing type", line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, fmt.Errorf("line %d: unknown type %q", line, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, perr := splitName(text)
+		if perr != nil {
+			return 0, fmt.Errorf("line %d: %v", line, perr)
+		}
+		fam := name
+		// Histogram series must belong to a declared histogram family.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			return 0, fmt.Errorf("line %d: sample %q has no preceding TYPE", line, name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return 0, fmt.Errorf("line %d: unterminated label set", line)
+			}
+			if err := checkLabels(rest[1:end]); err != nil {
+				return 0, fmt.Errorf("line %d: %v", line, err)
+			}
+			rest = rest[end+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return 0, fmt.Errorf("line %d: want value [timestamp], got %q", line, rest)
+		}
+		if v := fields[0]; v != "+Inf" && v != "-Inf" && v != "NaN" {
+			if _, perr := strconv.ParseFloat(v, 64); perr != nil {
+				return 0, fmt.Errorf("line %d: bad sample value %q", line, v)
+			}
+		}
+		seen[fam] = true
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return len(seen), nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// splitName splits a sample line at the end of its metric name.
+func splitName(s string) (name, rest string, err error) {
+	i := 0
+	for i < len(s) && s[i] != '{' && s[i] != ' ' {
+		i++
+	}
+	if i == 0 || !validMetricName(s[:i]) {
+		return "", "", fmt.Errorf("invalid sample name in %q", s)
+	}
+	return s[:i], s[i:], nil
+}
+
+// checkLabels validates the interior of a {…} label set. Quoted values
+// with escaped quotes are accepted; names must be valid label names.
+func checkLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := s[:eq]
+		if !validMetricName(name) || strings.Contains(name, ":") {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value after %q", name)
+		}
+		// Scan the quoted value, honoring backslash escapes.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		s = s[i+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if len(s) > 0 {
+			return fmt.Errorf("trailing garbage after label %q", name)
+		}
+	}
+	return nil
+}

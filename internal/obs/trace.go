@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Span is one timed segment of a query's lifecycle. Spans form a tree
+// (per-shard PROCESS spans under their PROCESS span, stages under the
+// root) and carry numeric/string attributes — counts, durations, ε
+// amounts and identifiers only, never released values or row contents.
+//
+// Spans are safe for concurrent use (parallel shards annotate sibling
+// spans) and every method is safe on a nil receiver, so untraced
+// executions thread a nil span through the same call sites for free.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    map[string]any
+	children []*Span
+	clock    func() time.Time
+}
+
+func (s *Span) now() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now()
+}
+
+// Child starts a child span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, clock: s.clock}
+	c.start = c.now()
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChildSpanning attaches an already-measured child span (e.g. the
+// parse stage, timed before the trace existed).
+func (s *Span) ChildSpanning(name string, start time.Time, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: start, end: start.Add(d), clock: s.clock}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End marks the span finished. Idempotent; later calls keep the first
+// end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = s.now()
+	}
+	s.mu.Unlock()
+}
+
+// Set stores an attribute. Values must be JSON-encodable scalars
+// (string, float64, int, bool).
+func (s *Span) Set(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// Add accumulates a numeric attribute (creating it at delta). Used by
+// concurrent chunk workers to tally cache hits and sandbox time on
+// their shard's span.
+func (s *Span) Add(key string, delta float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	if cur, ok := s.attrs[key].(float64); ok {
+		s.attrs[key] = cur + delta
+	} else {
+		s.attrs[key] = delta
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span's length (zero until End; 0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanTree is the serialized form of a span: the wire format of
+// GET /v1/queries/{id}/trace and the shape persisted on terminal job
+// records. Durations are nanoseconds.
+type SpanTree struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanTree     `json:"children,omitempty"`
+}
+
+// Tree snapshots the span and its descendants. Safe on a nil receiver
+// (returns a zero tree).
+func (s *Span) Tree() SpanTree {
+	if s == nil {
+		return SpanTree{}
+	}
+	s.mu.Lock()
+	t := SpanTree{Name: s.name, Start: s.start}
+	if !s.end.IsZero() {
+		t.DurationNS = s.end.Sub(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		t.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			t.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		t.Children = append(t.Children, c.Tree())
+	}
+	return t
+}
+
+// StageDurations flattens the tree into name → total duration, summing
+// spans that share a name (the slow-query log's compact stage
+// breakdown).
+func (t SpanTree) StageDurations() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	var walk func(n SpanTree)
+	walk = func(n SpanTree) {
+		out[n.Name] += time.Duration(n.DurationNS)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, c := range t.Children {
+		walk(c)
+	}
+	return out
+}
+
+// Trace is the root of one query's span tree.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace starts a trace whose root span is named name. clock
+// overrides time.Now (tests); nil uses the real clock.
+func NewTrace(name string, clock func() time.Time) *Trace {
+	r := &Span{name: name, clock: clock}
+	r.start = r.now()
+	return &Trace{root: r}
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span.
+func (t *Trace) Finish() {
+	if t != nil {
+		t.root.End()
+	}
+}
+
+// Tree snapshots the whole trace.
+func (t *Trace) Tree() SpanTree {
+	if t == nil {
+		return SpanTree{}
+	}
+	return t.root.Tree()
+}
+
+// JSON renders the trace's span tree (nil on a nil trace).
+func (t *Trace) JSON() ([]byte, error) {
+	if t == nil {
+		return nil, nil
+	}
+	return json.Marshal(t.Tree())
+}

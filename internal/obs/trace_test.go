@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a deterministic monotonic clock.
+func testClock() func() time.Time {
+	t := time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestTraceTreeShape(t *testing.T) {
+	tr := NewTrace("query", testClock())
+	root := tr.Root()
+	split := root.Child("split")
+	split.End()
+	proc := root.Child("process")
+	proc.Set("table", "t")
+	var wg sync.WaitGroup
+	for _, cam := range []string{"camA", "camB"} {
+		wg.Add(1)
+		go func(cam string) {
+			defer wg.Done()
+			sh := proc.Child("shard")
+			sh.Set("camera", cam)
+			sh.Add("cache_hits", 1)
+			sh.Add("cache_hits", 2)
+			sh.End()
+		}(cam)
+	}
+	wg.Wait()
+	proc.End()
+	tr.Finish()
+
+	tree := tr.Tree()
+	if tree.Name != "query" || tree.DurationNS <= 0 {
+		t.Fatalf("root: %+v", tree)
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("children: got %d, want 2", len(tree.Children))
+	}
+	procTree := tree.Children[1]
+	if len(procTree.Children) != 2 {
+		t.Fatalf("shards: got %d, want 2", len(procTree.Children))
+	}
+	cams := map[string]bool{}
+	for _, sh := range procTree.Children {
+		if sh.Name != "shard" {
+			t.Errorf("shard name %q", sh.Name)
+		}
+		cams[sh.Attrs["camera"].(string)] = true
+		if hits := sh.Attrs["cache_hits"].(float64); hits != 3 {
+			t.Errorf("cache_hits: got %g, want 3", hits)
+		}
+	}
+	if !cams["camA"] || !cams["camB"] {
+		t.Errorf("cameras: %v", cams)
+	}
+
+	// JSON round-trips into the same shape (the trace endpoint's and
+	// job record's wire format).
+	b, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanTree
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "query" || len(back.Children) != 2 {
+		t.Fatalf("round-trip: %+v", back)
+	}
+
+	stages := tree.StageDurations()
+	if stages["split"] <= 0 || stages["shard"] <= 0 {
+		t.Errorf("stage durations: %v", stages)
+	}
+}
+
+func TestChildSpanning(t *testing.T) {
+	tr := NewTrace("query", testClock())
+	start := time.Date(2021, 3, 15, 5, 59, 0, 0, time.UTC)
+	tr.Root().ChildSpanning("parse", start, 42*time.Millisecond)
+	tr.Finish()
+	tree := tr.Tree()
+	if len(tree.Children) != 1 {
+		t.Fatal("parse span missing")
+	}
+	p := tree.Children[0]
+	if p.Name != "parse" || p.DurationNS != (42*time.Millisecond).Nanoseconds() || !p.Start.Equal(start) {
+		t.Errorf("parse span: %+v", p)
+	}
+}
+
+func TestSlowLogThresholdAndSync(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 100*time.Millisecond)
+	l.Record(SlowEntry{JobID: "q-1", Duration: 50 * time.Millisecond})
+	l.Record(SlowEntry{JobID: "q-2", Analyst: "alice", Duration: 150 * time.Millisecond,
+		Stages: map[string]int64{"process": 120e6}})
+	if l.Entries() != 1 {
+		t.Fatalf("entries: got %d, want 1", l.Entries())
+	}
+	line := strings.TrimSpace(buf.String())
+	if strings.Contains(line, "q-1") {
+		t.Error("fast query logged")
+	}
+	var e SlowEntry
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("entry not JSON: %v (%q)", err, line)
+	}
+	if e.JobID != "q-2" || e.Analyst != "alice" || e.Stages["process"] != 120e6 {
+		t.Errorf("entry: %+v", e)
+	}
+	if err := l.Sync(); err != nil {
+		t.Errorf("sync: %v", err)
+	}
+	// Disabled configurations return nil.
+	if NewSlowLog(nil, time.Second) != nil || NewSlowLog(&buf, 0) != nil {
+		t.Error("disabled slowlog not nil")
+	}
+}

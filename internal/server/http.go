@@ -20,12 +20,14 @@ import (
 //	GET  /v1/queries?analyst=A         list jobs (newest last)
 //	GET  /v1/queries/{id}              job status (+result when done)
 //	GET  /v1/queries/{id}/result       result only; 409 while pending
+//	GET  /v1/queries/{id}/trace        span tree (409 pending, 404 none)
 //	GET  /v1/cameras                   registered cameras
 //	GET  /v1/cameras/{name}/budget     remaining ε at ?frame=N (default 0)
 //	GET  /v1/executables               registered PROCESS executables
 //	GET  /v1/audit                     owner's audit log
-//	GET  /v1/stats                     scheduler load + chunk-cache stats
+//	GET  /v1/stats                     scheduler load + cache + per-camera ε
 //	GET  /v1/state                     durable-store status (WAL/snapshots)
+//	GET  /v1/metrics                   Prometheus text exposition (not JSON)
 type API struct {
 	engine *core.Engine
 	sched  *Scheduler
@@ -40,12 +42,14 @@ func NewAPI(engine *core.Engine, sched *Scheduler) *API {
 	a.mux.HandleFunc("GET /v1/queries", a.listJobs)
 	a.mux.HandleFunc("GET /v1/queries/{id}", a.getJob)
 	a.mux.HandleFunc("GET /v1/queries/{id}/result", a.getResult)
+	a.mux.HandleFunc("GET /v1/queries/{id}/trace", a.getTrace)
 	a.mux.HandleFunc("GET /v1/cameras", a.listCameras)
 	a.mux.HandleFunc("GET /v1/cameras/{name}/budget", a.getBudget)
 	a.mux.HandleFunc("GET /v1/executables", a.listExecutables)
 	a.mux.HandleFunc("GET /v1/audit", a.getAudit)
 	a.mux.HandleFunc("GET /v1/stats", a.getStats)
 	a.mux.HandleFunc("GET /v1/state", a.getState)
+	a.mux.HandleFunc("GET /v1/metrics", a.getMetrics)
 	return a
 }
 
@@ -253,6 +257,46 @@ func (a *API) getResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// getTrace serves the span tree recorded for a terminal job: the raw
+// JSON persisted on the job record (obs.SpanTree), so it resolves for
+// recovered jobs across restarts too.
+func (a *API) getTrace(w http.ResponseWriter, r *http.Request) {
+	info, ok := a.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	if !info.Finished() {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"state": string(info.State), "error": "trace not ready",
+		})
+		return
+	}
+	if len(info.Trace) == 0 {
+		writeError(w, http.StatusNotFound, errors.New("server: no trace recorded for job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(info.Trace)
+}
+
+// metricsContentType is the Prometheus text exposition content type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// getMetrics serves the engine registry (which the scheduler's
+// instruments also live in) in Prometheus text exposition format. 404
+// when the engine was built with DisableMetrics.
+func (a *API) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := a.engine.Metrics()
+	if reg == nil {
+		writeError(w, http.StatusNotFound, errors.New("server: metrics disabled"))
+		return
+	}
+	w.Header().Set("Content-Type", metricsContentType)
+	_, _ = reg.WriteTo(w)
+}
+
 // cameraJSON is the wire form of one registered camera.
 type cameraJSON struct {
 	Name       string   `json:"name"`
@@ -375,10 +419,26 @@ func (a *API) getState(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// statsCameraJSON is the wire form of one camera's budget summary in
+// the stats endpoint.
+type statsCameraJSON struct {
+	Name    string  `json:"name"`
+	Epsilon float64 `json:"epsilon"`
+	// Remaining is the worst-case remaining per-frame ε over every
+	// charged frame (epsilon when untouched).
+	Remaining float64 `json:"remaining"`
+}
+
 func (a *API) getStats(w http.ResponseWriter, _ *http.Request) {
 	cs := a.engine.CacheStats()
+	budgets := a.engine.CameraBudgets()
+	cams := make([]statsCameraJSON, len(budgets))
+	for i, cb := range budgets {
+		cams[i] = statsCameraJSON{Name: cb.Name, Epsilon: cb.Epsilon, Remaining: cb.Remaining}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"scheduler": a.sched.Stats(),
+		"cameras":   cams,
 		"chunk_cache": map[string]any{
 			"hits":      cs.Hits,
 			"misses":    cs.Misses,

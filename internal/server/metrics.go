@@ -1,0 +1,89 @@
+package server
+
+import (
+	"time"
+
+	"privid/internal/obs"
+)
+
+// schedMetrics holds the scheduler's hot-path instruments. They live in
+// the engine's registry so one scrape covers both layers; every field
+// no-ops when nil (engine built with core.Options.DisableMetrics).
+type schedMetrics struct {
+	// stageSeconds reuses the engine's per-stage latency family for the
+	// serving-layer stages (parse, queue_wait). Registration is
+	// idempotent, so whichever layer registers first owns the family and
+	// both observe into it.
+	stageSeconds *obs.HistogramVec
+	// submissions counts submissions accepted into the queue.
+	submissions *obs.Counter
+	// refusals counts refused submissions by reason (parse, busy,
+	// queue_full, closed).
+	refusals *obs.CounterVec
+}
+
+func newSchedMetrics(reg *obs.Registry) *schedMetrics {
+	return &schedMetrics{
+		stageSeconds: reg.HistogramVec("privid_query_stage_seconds",
+			"Query latency by pipeline stage.", nil, "stage"),
+		submissions: reg.Counter("privid_scheduler_submissions_total",
+			"Query submissions accepted into the queue."),
+		refusals: reg.CounterVec("privid_scheduler_refusals_total",
+			"Query submissions refused, by reason (parse, busy, queue_full, closed).",
+			"reason"),
+	}
+}
+
+// stage observes one serving-layer stage duration.
+func (m *schedMetrics) stage(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stageSeconds.With(name).Observe(d.Seconds())
+}
+
+// refused counts one refused submission.
+func (m *schedMetrics) refused(reason string) {
+	if m == nil {
+		return
+	}
+	m.refusals.With(reason).Inc()
+}
+
+// registerCollectors installs the scheduler's scrape-time collectors:
+// queue depth, running jobs, pool size, recovered-job and slow-query
+// counts. Called once from NewScheduler before the workers start and
+// never under s.mu, mirroring the engine's registration discipline (a
+// scrape runs collectors under the registry's read lock and may take
+// s.mu; registration must therefore never happen under s.mu).
+func (s *Scheduler) registerCollectors(reg *obs.Registry) {
+	reg.GaugeFunc("privid_scheduler_queue_depth",
+		"Jobs waiting for a worker.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("privid_scheduler_workers",
+		"Worker-pool size (max concurrent query executions).",
+		func() float64 { return float64(s.opts.Workers) })
+	reg.GaugeFunc("privid_scheduler_running",
+		"Jobs currently executing on the worker pool.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, j := range s.jobs {
+				if j.info.State == JobRunning {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.CollectFunc("privid_scheduler_recovered_jobs_total",
+		"Terminal jobs adopted from the durable store at startup.",
+		obs.TypeCounter, nil, func(emit obs.Emit) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			emit(nil, float64(s.recovered))
+		})
+	reg.CollectFunc("privid_slow_queries_total",
+		"Slow-query log entries written.", obs.TypeCounter, nil,
+		func(emit obs.Emit) { emit(nil, float64(s.slow.Entries())) })
+}

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strconv"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"privid/internal/core"
+	"privid/internal/obs"
 	"privid/internal/query"
 	"privid/internal/store"
 )
@@ -53,6 +55,13 @@ type SchedulerOptions struct {
 	// scheduler retains for polling; the oldest are dropped beyond it,
 	// so a long-running server's memory stays bounded. 0 uses 1000.
 	MaxFinishedJobs int
+	// SlowQueryLog receives one JSON line (obs.SlowEntry) per terminal
+	// job whose execution took at least SlowQueryThreshold. nil disables
+	// the slow-query log.
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the execution-duration threshold for the
+	// slow-query log; non-positive disables it.
+	SlowQueryThreshold time.Duration
 	// Now overrides the job-timestamp clock (tests only).
 	Now func() time.Time
 }
@@ -96,7 +105,11 @@ type JobInfo struct {
 	// Error is the failure reason (JobFailed only).
 	Error string
 	// Result is the query outcome (JobDone only).
-	Result      *core.Result
+	Result *core.Result
+	// Trace is the execution's span tree (JSON-encoded obs.SpanTree),
+	// set when the job reaches a terminal state and persisted with it,
+	// so GET /v1/queries/{id}/trace resolves across restarts.
+	Trace       json.RawMessage
 	SubmittedAt time.Time
 	StartedAt   time.Time // zero until running
 	FinishedAt  time.Time // zero until done/failed
@@ -121,6 +134,10 @@ type job struct {
 	// qhash tags the job's WAL charge records (sha256 of the source,
 	// truncated) so the durable ledger ties ε debits to queries.
 	qhash string
+	// parseStart/parseDur time the submit-side parse so the worker can
+	// attach it to the execution trace as a pre-measured span.
+	parseStart time.Time
+	parseDur   time.Duration
 }
 
 // queryHash derives the WAL tag for a query source.
@@ -140,6 +157,11 @@ type Scheduler struct {
 	store store.Store
 	queue chan *job
 	wg    sync.WaitGroup
+	// met holds hot-path instruments in the engine's registry (all
+	// no-op when metrics are disabled); slow is the slow-query log (nil
+	// when unconfigured).
+	met  *schedMetrics
+	slow *obs.SlowLog
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -149,8 +171,11 @@ type Scheduler struct {
 	// doneTotal/failedTotal are monotonic lifetime counters; the
 	// retained-job map alone would undercount once pruning starts.
 	doneTotal, failedTotal int64
-	seq                    int64
-	closed                 bool
+	// recovered counts terminal jobs adopted from the durable store at
+	// startup.
+	recovered int64
+	seq       int64
+	closed    bool
 }
 
 // NewScheduler starts a scheduler over the engine. Call Close to drain
@@ -167,11 +192,16 @@ func NewScheduler(engine *core.Engine, opts SchedulerOptions) *Scheduler {
 		queue:    make(chan *job, opts.QueueDepth),
 		jobs:     map[string]*job{},
 		inflight: map[string]int{},
+		met:      newSchedMetrics(engine.Metrics()),
+		slow:     obs.NewSlowLog(opts.SlowQueryLog, opts.SlowQueryThreshold),
 	}
 	for _, jr := range engine.RecoveredJobs() {
 		s.adoptRecovered(jr)
 	}
 	s.pruneLocked() // bound recovered history like live history
+	if reg := engine.Metrics(); reg != nil {
+		s.registerCollectors(reg)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -195,6 +225,7 @@ func (s *Scheduler) adoptRecovered(jr store.JobRecord) {
 		Query:       jr.Query,
 		State:       state,
 		Error:       jr.Error,
+		Trace:       jr.Trace,
 		SubmittedAt: jr.SubmittedAt,
 		StartedAt:   jr.StartedAt,
 		FinishedAt:  jr.FinishedAt,
@@ -219,6 +250,7 @@ func (s *Scheduler) adoptRecovered(jr store.JobRecord) {
 	s.jobs[jr.ID] = &job{info: info}
 	s.order = append(s.order, jr.ID)
 	s.finished++
+	s.recovered++
 	switch info.State {
 	case JobDone:
 		s.doneTotal++
@@ -258,22 +290,32 @@ func (s *Scheduler) Submit(analyst, src string) (string, error) {
 	if closed {
 		return "", ErrClosed
 	}
+	// The parse is timed with the real clock (not opts.Now) because it
+	// becomes a span on the execution trace, and traces always use real
+	// time (see core.ExecuteTraced).
+	parseStart := time.Now()
 	prog, err := query.Parse(src)
+	parseDur := time.Since(parseStart)
+	s.met.stage("parse", parseDur)
 	if err != nil {
+		s.met.refused("parse")
 		return "", err
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.met.refused("closed")
 		return "", ErrClosed
 	}
 	if s.inflight[analyst] >= s.opts.PerAnalystInFlight {
 		s.mu.Unlock()
+		s.met.refused("busy")
 		return "", ErrAnalystBusy
 	}
 	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
+		s.met.refused("queue_full")
 		return "", ErrQueueFull
 	}
 	s.seq++
@@ -285,8 +327,10 @@ func (s *Scheduler) Submit(analyst, src string) (string, error) {
 			State:       JobQueued,
 			SubmittedAt: s.now(),
 		},
-		prog:  prog,
-		qhash: queryHash(src),
+		prog:       prog,
+		qhash:      queryHash(src),
+		parseStart: parseStart,
+		parseDur:   parseDur,
 	}
 	s.jobs[j.info.ID] = j
 	s.order = append(s.order, j.info.ID)
@@ -295,6 +339,7 @@ func (s *Scheduler) Submit(analyst, src string) (string, error) {
 	// because queue length was checked above and only Submit sends.
 	s.queue <- j
 	s.mu.Unlock()
+	s.met.submissions.Inc()
 	return j.info.ID, nil
 }
 
@@ -305,12 +350,23 @@ func (s *Scheduler) worker() {
 		s.mu.Lock()
 		j.info.State = JobRunning
 		j.info.StartedAt = s.now()
+		queueWait := j.info.StartedAt.Sub(j.info.SubmittedAt)
 		s.mu.Unlock()
+		s.met.stage("queue_wait", queueWait)
 
-		res, err := s.engine.ExecuteTagged(j.prog, j.qhash)
+		res, tr, err := s.engine.ExecuteTraced(j.prog, j.qhash)
+
+		// Annotate the finished trace with serving-layer context: the
+		// job identity and the submit-side parse as a pre-measured span.
+		// Identifiers and durations only — never result values.
+		tr.Root().Set("job_id", j.info.ID)
+		tr.Root().Set("analyst", j.info.Analyst)
+		tr.Root().ChildSpanning("parse", j.parseStart, j.parseDur)
+		traceJSON, _ := tr.JSON()
 
 		s.mu.Lock()
 		j.info.FinishedAt = s.now()
+		j.info.Trace = traceJSON
 		if err != nil {
 			j.info.State = JobFailed
 			j.info.Error = err.Error()
@@ -327,6 +383,7 @@ func (s *Scheduler) worker() {
 		s.finished++
 		s.pruneLocked()
 		rec := terminalRecord(j.info)
+		info := j.info
 		s.mu.Unlock()
 
 		// Persist the terminal job outside the lock so polls are not
@@ -334,7 +391,36 @@ func (s *Scheduler) worker() {
 		// charge was already fsynced inside Execute; losing the job
 		// record merely means a post-restart poll cannot resolve it.
 		_ = s.store.Commit(rec)
+		s.recordSlow(info, tr, res, queueWait)
 	}
+}
+
+// recordSlow writes a slow-query log entry for a terminal job (the log
+// itself gates on its threshold; nothing happens when unconfigured).
+func (s *Scheduler) recordSlow(info JobInfo, tr *obs.Trace, res *core.Result, queueWait time.Duration) {
+	if s.slow == nil {
+		return
+	}
+	e := obs.SlowEntry{
+		At:        info.FinishedAt,
+		JobID:     info.ID,
+		Analyst:   info.Analyst,
+		Query:     info.Query,
+		State:     string(info.State),
+		Error:     info.Error,
+		Duration:  info.FinishedAt.Sub(info.StartedAt),
+		QueueWait: queueWait,
+	}
+	if res != nil {
+		e.EpsilonSpent = res.EpsilonSpent
+	}
+	if sd := tr.Tree().StageDurations(); len(sd) > 0 {
+		e.Stages = make(map[string]int64, len(sd))
+		for name, d := range sd {
+			e.Stages[name] = d.Nanoseconds()
+		}
+	}
+	s.slow.Record(e)
 }
 
 // terminalRecord converts a terminal job snapshot into its durable
@@ -346,6 +432,7 @@ func terminalRecord(info JobInfo) store.Record {
 		Query:       info.Query,
 		State:       string(info.State),
 		Error:       info.Error,
+		Trace:       info.Trace,
 		SubmittedAt: info.SubmittedAt,
 		StartedAt:   info.StartedAt,
 		FinishedAt:  info.FinishedAt,
@@ -421,6 +508,12 @@ type Stats struct {
 	Done      int64
 	Failed    int64
 	Submitted int64
+	// Recovered counts terminal jobs adopted from the durable store at
+	// startup (included in Done/Failed).
+	Recovered int64
+	// SlowQueries counts slow-query log entries written (0 when the log
+	// is unconfigured).
+	SlowQueries int64
 }
 
 // Stats returns a snapshot of scheduler load.
@@ -428,10 +521,12 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Workers:   s.opts.Workers,
-		Submitted: s.seq,
-		Done:      s.doneTotal,
-		Failed:    s.failedTotal,
+		Workers:     s.opts.Workers,
+		Submitted:   s.seq,
+		Done:        s.doneTotal,
+		Failed:      s.failedTotal,
+		Recovered:   s.recovered,
+		SlowQueries: int64(s.slow.Entries()),
 	}
 	for _, j := range s.jobs {
 		switch j.info.State {
@@ -445,16 +540,21 @@ func (s *Scheduler) Stats() Stats {
 }
 
 // Close stops accepting submissions, waits for queued and running jobs
-// to finish, and returns. Safe to call once.
+// to finish, syncs the slow-query log, and returns. Safe to call more
+// than once.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		_ = s.slow.Sync()
 		return
 	}
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Flush the slow-query log after the last worker exits so the tail
+	// of a shutdown's entries survives process exit.
+	_ = s.slow.Sync()
 }

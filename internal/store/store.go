@@ -69,6 +69,10 @@ type JobRecord struct {
 	StartedAt   time.Time       `json:"started_at"`
 	FinishedAt  time.Time       `json:"finished_at"`
 	Result      json.RawMessage `json:"result,omitempty"`
+	// Trace is the JSON span tree of the job's execution (obs.SpanTree;
+	// opaque to the store), persisted so GET /v1/queries/{id}/trace
+	// resolves for terminal jobs across server restarts.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // Record is one WAL entry. Exactly one field is non-nil.

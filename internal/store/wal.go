@@ -51,6 +51,9 @@ type Options struct {
 	// WrapFile wraps the WAL file handle after open (fault injection
 	// in tests). Nil uses the file directly.
 	WrapFile func(File) File
+	// Metrics holds optional append/fsync/batch instruments (see
+	// Metrics); the zero value disables instrumentation.
+	Metrics Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -377,6 +380,7 @@ func (w *WAL) appendLocked(buf []byte, recs []Record) error {
 	if w.poisoned != nil {
 		return w.poisoned
 	}
+	start := time.Now()
 	n, err := w.f.Write(buf)
 	if err != nil || n < len(buf) {
 		if terr := w.f.Truncate(w.size); terr != nil {
@@ -387,6 +391,7 @@ func (w *WAL) appendLocked(buf []byte, recs []Record) error {
 		}
 		return fmt.Errorf("store: wal append: %w", err)
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		// After a failed fsync the kernel may have dropped the dirty
 		// pages without writing them; the log's on-disk tail is
@@ -395,6 +400,10 @@ func (w *WAL) appendLocked(buf []byte, recs []Record) error {
 		w.poisoned = fmt.Errorf("store: wal fsync failed, store disabled: %w", err)
 		return w.poisoned
 	}
+	now := time.Now()
+	w.opts.Metrics.FsyncSeconds.Observe(now.Sub(syncStart).Seconds())
+	w.opts.Metrics.AppendSeconds.Observe(now.Sub(start).Seconds())
+	w.opts.Metrics.CommitRecords.Observe(float64(len(recs)))
 	w.size += int64(len(buf))
 	for _, rec := range recs {
 		w.state.apply(rec, w.opts.MaxJobs, w.opts.MaxAudit)

@@ -54,6 +54,7 @@ import (
 	"privid/internal/cv"
 	"privid/internal/geom"
 	"privid/internal/mask"
+	"privid/internal/obs"
 	"privid/internal/policy"
 	"privid/internal/query"
 	"privid/internal/region"
@@ -162,6 +163,29 @@ type (
 	// CacheStats is a snapshot of the engine's chunk-result cache
 	// counters (Engine.CacheStats).
 	CacheStats = cache.Stats
+)
+
+// Observability types (see internal/obs and DESIGN.md
+// §"Observability"). Everything here carries counts, durations and ε
+// amounts only — never noised values or row contents.
+type (
+	// MetricsRegistry holds the deployment's metric families
+	// (Engine.Metrics), rendered in Prometheus text format at
+	// GET /v1/metrics.
+	MetricsRegistry = obs.Registry
+	// QueryTrace is one query execution's live span tree
+	// (Engine.ExecuteTraced).
+	QueryTrace = obs.Trace
+	// SpanTree is the serialized form of a trace: the wire format of
+	// GET /v1/queries/{id}/trace and the shape persisted on terminal
+	// job records.
+	SpanTree = obs.SpanTree
+	// SlowEntry is one structured slow-query log record
+	// (SchedulerOptions.SlowQueryLog).
+	SlowEntry = obs.SlowEntry
+	// CameraBudgetStatus is one camera's standing budget summary
+	// (Engine.CameraBudgets, the stats endpoint's cameras array).
+	CameraBudgetStatus = core.CameraBudgetStatus
 )
 
 // NewScheduler starts an asynchronous query scheduler over an engine.
