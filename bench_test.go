@@ -134,9 +134,13 @@ func BenchmarkSceneFrame(b *testing.B) {
 // deliberately frame-scanning executable (the realistic cost profile:
 // PROCESS dominates). execs counts actual executable invocations, the
 // ground truth for how much sandbox work each variant did.
-func newCacheBenchEngine(b *testing.B, src privid.Source, cacheBytes int64, execs *atomic.Int64) *privid.Engine {
+func newCacheBenchEngine(b *testing.B, src privid.Source, opts privid.Options, execs *atomic.Int64) *privid.Engine {
 	b.Helper()
-	engine := privid.New(privid.Options{Seed: 1, ChunkCacheBytes: cacheBytes})
+	opts.Seed = 1
+	engine, err := privid.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
 	if err := engine.RegisterCamera(privid.CameraConfig{
 		Name: "campus", Source: src,
 		Policy:  privid.Policy{Rho: time.Minute, K: 2},
@@ -180,7 +184,7 @@ func runCacheBench(b *testing.B, warm bool) {
 	if warm {
 		cacheBytes = 0 // default-sized cache
 	}
-	engine := newCacheBenchEngine(b, src, cacheBytes, &execs)
+	engine := newCacheBenchEngine(b, src, privid.Options{ChunkCacheBytes: cacheBytes}, &execs)
 	if warm {
 		if _, err := engine.Execute(prog); err != nil { // populate the cache
 			b.Fatal(err)
@@ -211,6 +215,41 @@ func BenchmarkChunkCache_Cold(b *testing.B) { runCacheBench(b, false) }
 // BenchmarkChunkCache_Warm repeats the identical window against a
 // populated cache: zero sandbox executions per query.
 func BenchmarkChunkCache_Warm(b *testing.B) { runCacheBench(b, true) }
+
+// BenchmarkChunkCache_DiskWarm measures the tier-2 path in isolation:
+// the RAM tier is disabled (ChunkCacheBytes < 0) so every repeated
+// query decodes its chunk blocks from the CRC-framed segment store —
+// the cost profile of a freshly restarted server answering a window it
+// memoized in an earlier life.
+func BenchmarkChunkCache_DiskWarm(b *testing.B) {
+	src := privid.NewSceneCamera("campus", privid.CampusProfile(), 1, 10*time.Minute)
+	prog, err := privid.Parse(cacheBenchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var execs atomic.Int64
+	engine := newCacheBenchEngine(b, src, privid.Options{
+		ChunkCacheBytes: -1,
+		DiskCacheDir:    b.TempDir(),
+	}, &execs)
+	defer engine.Close()
+	if _, err := engine.Execute(prog); err != nil { // populate the disk tier
+		b.Fatal(err)
+	}
+	execsBefore := execs.Load()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Execute(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if ran := execs.Load() - execsBefore; ran != 0 {
+		b.Fatalf("%d sandbox executions on a warm disk tier", ran)
+	}
+	cs := engine.CacheStats()
+	b.ReportMetric(float64(cs.DiskHits)/float64(b.N), "disk-hits/op")
+}
 
 // Multi-camera benchmarks: the identical 4-camera fleet query executed
 // serially (camera shards one after another — the pre-sharding

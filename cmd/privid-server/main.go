@@ -107,6 +107,12 @@ type config struct {
 	// ChunkCacheBytes bounds the chunk-result cache (0 = 64 MiB
 	// default, negative disables).
 	ChunkCacheBytes int64 `json:"chunk_cache_bytes"`
+	// DiskCacheDir enables the persistent tier-2 chunk cache under
+	// this directory; empty keeps the cache RAM-only. Memoized chunk
+	// results survive restarts and are promoted back into RAM on hit.
+	DiskCacheDir string `json:"disk_cache_dir"`
+	// DiskCacheBytes bounds the tier-2 store (0 = 256 MiB default).
+	DiskCacheBytes int64 `json:"disk_cache_bytes"`
 	// Workers, PerAnalystInFlight, QueueDepth and MaxFinishedJobs
 	// configure the scheduler (0 = defaults).
 	Workers            int `json:"workers"`
@@ -174,6 +180,8 @@ func buildEngine(cfg config, repair bool) (*privid.Engine, error) {
 		Parallelism:          cfg.Parallelism,
 		PerCameraParallelism: cfg.PerCameraParallelism,
 		ChunkCacheBytes:      cfg.ChunkCacheBytes,
+		DiskCacheDir:         cfg.DiskCacheDir,
+		DiskCacheBytes:       cfg.DiskCacheBytes,
 		StateDir:             cfg.StateDir,
 		SnapshotEvery:        cfg.SnapshotEvery,
 		RepairState:          repair,

@@ -1,5 +1,8 @@
-// Package cache provides the concurrency-safe, size-bounded LRU cache
-// the engine uses to memoize PROCESS results per chunk.
+// Package cache provides the concurrency-safe, size-bounded caches the
+// engine uses to memoize PROCESS results per chunk: a tier-1 in-RAM
+// LRU of immutable columnar tables and an optional tier-2 append-only
+// disk store (disk.go) that survives process restarts, composed by
+// Tiered (tiered.go).
 //
 // Why memoization is sound: the sandbox contract (Appendix B, enforced
 // by internal/sandbox) requires every ProcessFunc to be a pure function
@@ -17,6 +20,12 @@
 // produced those releases came from a cache hit — a hit changes how
 // fast an answer is computed, never which answers are admitted, how
 // much ε they consume, or how much noise they carry.
+//
+// Why sharing is safe: Put freezes the stored table (table.Freeze), so
+// every Get can hand back the same *table.Table without copying — any
+// attempted mutation panics instead of corrupting other readers. The
+// engine stamps implicit columns via Table.AppendBlock, which copies
+// out of the frozen block rather than appending to its rows.
 package cache
 
 import (
@@ -30,13 +39,12 @@ import (
 // entry (map bucket, list element, key string header, slice headers).
 const entryOverhead = 128
 
-// valueOverhead approximates the bytes of one table.Value (type tag,
-// float, string header) beyond its string content.
-const valueOverhead = 32
-
-// Stats is a snapshot of cache effectiveness counters.
+// Stats is a snapshot of cache effectiveness counters. Tier-1 (RAM)
+// counters are always populated; Disk* fields stay zero unless a disk
+// tier is configured.
 type Stats struct {
-	// Hits and Misses count Get outcomes since construction.
+	// Hits and Misses count Get outcomes since construction. For a
+	// tiered cache a Get that is served by either tier counts as a hit.
 	Hits, Misses uint64
 	// Puts counts stored entries (including overwrites).
 	Puts uint64
@@ -48,6 +56,21 @@ type Stats struct {
 	Bytes int64
 	// MaxBytes is the configured bound.
 	MaxBytes int64
+
+	// DiskHits and DiskMisses count lookups that fell through to the
+	// disk tier and whether it held the entry.
+	DiskHits, DiskMisses uint64
+	// DiskPuts counts entries appended to the disk tier.
+	DiskPuts uint64
+	// Promotions counts disk hits copied back into the RAM tier.
+	Promotions uint64
+	// DiskBytes and DiskMaxBytes are the current and configured size
+	// of the disk tier; DiskSegments is its segment-file count.
+	DiskBytes, DiskMaxBytes int64
+	DiskSegments            int
+	// DiskEvictions counts whole segments dropped to respect
+	// DiskMaxBytes.
+	DiskEvictions uint64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -59,9 +82,22 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// LRU is a least-recently-used cache from string keys to
-// intermediate-table row sets, bounded by approximate total bytes. It
-// is safe for concurrent use.
+// Cache is the interface the engine memoizes chunk results behind:
+// either a bare LRU, a bare Disk store, or the two composed by Tiered.
+// Implementations are safe for concurrent use. Tables returned by Get
+// are frozen and shared; callers must not mutate them.
+type Cache interface {
+	Get(key string) (*table.Table, bool)
+	Put(key string, t *table.Table)
+	Stats() Stats
+	// Close releases any resources (disk tiers sync and unmap). The
+	// cache must not be used after Close.
+	Close() error
+}
+
+// LRU is a least-recently-used cache from string keys to frozen
+// intermediate tables, bounded by approximate total bytes. It is safe
+// for concurrent use.
 type LRU struct {
 	mu       sync.Mutex
 	maxBytes int64
@@ -74,7 +110,7 @@ type LRU struct {
 
 type lruEntry struct {
 	key  string
-	rows []table.Row
+	tbl  *table.Table
 	cost int64
 }
 
@@ -89,32 +125,14 @@ func New(maxBytes int64) *LRU {
 	}
 }
 
-// rowsCost approximates the memory footprint of a row set.
-func rowsCost(key string, rows []table.Row) int64 {
-	cost := int64(entryOverhead + len(key))
-	for _, r := range rows {
-		cost += 24 // slice header
-		for _, v := range r {
-			cost += valueOverhead + int64(len(v.Str()))
-		}
-	}
-	return cost
+// tableCost approximates the memory footprint of one entry.
+func tableCost(key string, t *table.Table) int64 {
+	return int64(entryOverhead+len(key)) + t.MemBytes()
 }
 
-// cloneRows deep-copies a row set. Values are immutable value structs,
-// so copying the row slices fully decouples caller and cache: neither
-// later appends nor in-place writes on one side can reach the other.
-func cloneRows(rows []table.Row) []table.Row {
-	out := make([]table.Row, len(rows))
-	for i, r := range rows {
-		out[i] = r.Clone()
-	}
-	return out
-}
-
-// Get returns a private copy of the rows stored under key and marks the
-// entry most recently used.
-func (c *LRU) Get(key string) ([]table.Row, bool) {
+// Get returns the frozen table stored under key (shared, not copied)
+// and marks the entry most recently used.
+func (c *LRU) Get(key string) (*table.Table, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -124,14 +142,16 @@ func (c *LRU) Get(key string) ([]table.Row, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return cloneRows(el.Value.(*lruEntry).rows), true
+	return el.Value.(*lruEntry).tbl, true
 }
 
-// Put stores a private copy of rows under key, evicting
-// least-recently-used entries as needed to respect the byte bound. An
-// entry larger than the whole bound is not stored.
-func (c *LRU) Put(key string, rows []table.Row) {
-	cost := rowsCost(key, rows)
+// Put freezes t and stores it under key, evicting least-recently-used
+// entries as needed to respect the byte bound. The caller must not
+// mutate t after Put (Freeze makes any attempt panic). An entry larger
+// than the whole bound is not stored.
+func (c *LRU) Put(key string, t *table.Table) {
+	t.Freeze()
+	cost := tableCost(key, t)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cost > c.maxBytes {
@@ -142,11 +162,11 @@ func (c *LRU) Put(key string, rows []table.Row) {
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*lruEntry)
 		c.bytes += cost - ent.cost
-		ent.rows = cloneRows(rows)
+		ent.tbl = t
 		ent.cost = cost
 		c.ll.MoveToFront(el)
 	} else {
-		ent := &lruEntry{key: key, rows: cloneRows(rows), cost: cost}
+		ent := &lruEntry{key: key, tbl: t, cost: cost}
 		c.items[key] = c.ll.PushFront(ent)
 		c.bytes += cost
 	}
@@ -174,6 +194,9 @@ func (c *LRU) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Close implements Cache; an in-RAM tier has nothing to release.
+func (c *LRU) Close() error { return nil }
 
 // Stats returns a snapshot of the cache counters.
 func (c *LRU) Stats() Stats {

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package cache
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; sealed segments fall back
+// to ReadAt through the kept file handle.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("cache: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

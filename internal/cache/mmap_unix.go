@@ -1,0 +1,18 @@
+//go:build unix
+
+package cache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. Sealed segments are mapped
+// so repeated warm reads cost page-cache lookups, not syscalls.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

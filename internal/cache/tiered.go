@@ -1,0 +1,106 @@
+package cache
+
+// Tiered composes the RAM LRU (tier 1) and the disk store (tier 2)
+// behind the Cache interface. Lookups try RAM first; a disk hit is
+// promoted back into RAM so the working set migrates to the fast tier.
+// Puts are write-through: the entry lands in both tiers, so it both
+// serves hot repeats at RAM speed and survives a process restart.
+
+import (
+	"sync/atomic"
+
+	"privid/internal/table"
+)
+
+// Tiered is a two-tier cache. Either tier may be nil, in which case it
+// degenerates to the other tier alone (both nil stores nothing).
+type Tiered struct {
+	mem  *LRU
+	disk *Disk
+
+	promotions atomic.Uint64
+}
+
+// NewTiered composes the two tiers.
+func NewTiered(mem *LRU, disk *Disk) *Tiered {
+	return &Tiered{mem: mem, disk: disk}
+}
+
+// Get tries RAM, then disk. Disk hits are promoted into RAM.
+func (t *Tiered) Get(key string) (*table.Table, bool) {
+	if t.mem != nil {
+		if tbl, ok := t.mem.Get(key); ok {
+			return tbl, true
+		}
+	}
+	if t.disk == nil {
+		return nil, false
+	}
+	tbl, ok := t.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if t.mem != nil {
+		t.mem.Put(key, tbl)
+		t.promotions.Add(1)
+	}
+	return tbl, true
+}
+
+// Put stores the (frozen) table in both tiers.
+func (t *Tiered) Put(key string, tbl *table.Table) {
+	tbl.Freeze()
+	if t.mem != nil {
+		t.mem.Put(key, tbl)
+	}
+	if t.disk != nil {
+		t.disk.Put(key, tbl)
+	}
+}
+
+// Close releases the disk tier.
+func (t *Tiered) Close() error {
+	if t.disk != nil {
+		return t.disk.Close()
+	}
+	return nil
+}
+
+// Stats merges both tiers: RAM counters in the classic fields, disk
+// counters in the Disk* fields. Hits/Misses reflect the composite view
+// (a Get served by either tier is one hit; a miss in both is one
+// miss), which keeps HitRate meaningful for the whole cache.
+func (t *Tiered) Stats() Stats {
+	var s Stats
+	if t.mem != nil {
+		s = t.mem.Stats()
+	}
+	if t.disk != nil {
+		ds := t.disk.Stats()
+		s.DiskHits = ds.DiskHits
+		s.DiskMisses = ds.DiskMisses
+		s.DiskPuts = ds.DiskPuts
+		s.DiskEvictions = ds.DiskEvictions
+		s.DiskBytes = ds.DiskBytes
+		s.DiskMaxBytes = ds.DiskMaxBytes
+		s.DiskSegments = ds.DiskSegments
+		s.Promotions = t.promotions.Load()
+		if t.mem == nil {
+			s.Hits, s.Misses = ds.DiskHits, ds.DiskMisses
+			s.Puts = ds.DiskPuts
+			s.Entries = ds.Entries
+		} else {
+			// RAM misses that the disk tier absorbed are composite hits.
+			s.Hits += ds.DiskHits
+			s.Misses -= min64(s.Misses, ds.DiskHits)
+		}
+	}
+	return s
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

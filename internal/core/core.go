@@ -93,6 +93,17 @@ type Options struct {
 	// internal/cache for why a hit can never change budget admission,
 	// ε accounting, or noise.
 	ChunkCacheBytes int64
+	// DiskCacheDir enables the tier-2 chunk cache: an append-only,
+	// CRC-framed segment store under this directory that persists
+	// memoized PROCESS results across restarts. Lookups fall through
+	// RAM to disk, and disk hits are promoted back into RAM. Empty
+	// (the default) keeps the cache RAM-only. Combining a negative
+	// ChunkCacheBytes with a DiskCacheDir yields a disk-only cache.
+	DiskCacheDir string
+	// DiskCacheBytes bounds the tier-2 store (approximate bytes;
+	// whole oldest segments are deleted to respect it). 0 uses
+	// DefaultDiskCacheBytes. Ignored when DiskCacheDir is empty.
+	DiskCacheBytes int64
 	// StateDir enables the durable privacy ledger: every admitted
 	// charge is written to a write-ahead log under this directory and
 	// fsynced before the noised result is released, and Open recovers
@@ -131,13 +142,17 @@ type Options struct {
 // Options.ChunkCacheBytes is 0.
 const DefaultChunkCacheBytes = 64 << 20
 
+// DefaultDiskCacheBytes is the tier-2 disk cache bound used when
+// Options.DiskCacheDir is set and Options.DiskCacheBytes is 0.
+const DefaultDiskCacheBytes = 256 << 20
+
 // Engine is a Privid deployment: a set of cameras and a registry of
 // analyst executables. Engines are safe for concurrent query
 // execution; budget admission is serialized.
 type Engine struct {
 	opts       Options
 	registry   *sandbox.Registry
-	chunkCache *cache.LRU // nil when caching is disabled
+	chunkCache cache.Cache // nil when caching is disabled
 	// procSem bounds concurrent sandbox executions engine-wide (size
 	// Options.Parallelism). Cache hits bypass it.
 	procSem chan struct{}
@@ -197,9 +212,32 @@ func Open(opts Options) (*Engine, error) {
 	if opts.ChunkCacheBytes == 0 {
 		opts.ChunkCacheBytes = DefaultChunkCacheBytes
 	}
-	var cc *cache.LRU
+	if opts.DiskCacheDir != "" && opts.DiskCacheBytes == 0 {
+		opts.DiskCacheBytes = DefaultDiskCacheBytes
+	}
+	// Assemble the chunk cache tiers. The interface field stays a true
+	// nil when no tier is configured (never a typed nil), so the
+	// hot-path nil checks in runShard remain valid.
+	var mem *cache.LRU
 	if opts.ChunkCacheBytes > 0 {
-		cc = cache.New(opts.ChunkCacheBytes)
+		mem = cache.New(opts.ChunkCacheBytes)
+	}
+	var diskTier *cache.Disk
+	if opts.DiskCacheDir != "" {
+		d, err := cache.OpenDisk(opts.DiskCacheDir, opts.DiskCacheBytes)
+		if err != nil {
+			return nil, fmt.Errorf("core: open disk cache: %w", err)
+		}
+		diskTier = d
+	}
+	var cc cache.Cache
+	switch {
+	case mem != nil && diskTier != nil:
+		cc = cache.NewTiered(mem, diskTier)
+	case mem != nil:
+		cc = mem
+	case diskTier != nil:
+		cc = cache.NewTiered(nil, diskTier)
 	}
 	reg := opts.Metrics
 	if opts.DisableMetrics {
@@ -270,6 +308,12 @@ func Open(opts Options) (*Engine, error) {
 // engine.
 func (e *Engine) Close() error {
 	err := e.store.Close()
+	if e.chunkCache != nil {
+		// Sync and unmap the disk cache tier (no-op for RAM-only).
+		if cerr := e.chunkCache.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if e.metrics != nil && e.opts.StateDir != "" {
 		// Best-effort: the snapshot is diagnostic and never fails Close.
 		if f, ferr := os.Create(filepath.Join(e.opts.StateDir, "metrics.prom")); ferr == nil {

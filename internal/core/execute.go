@@ -637,34 +637,35 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, sp *obs.Span
 
 	if len(plan.shards) == 1 || e.opts.SerialShards {
 		for _, sh := range plan.shards {
-			data.Append(e.runShard(sh, st, exec, schema, hasRegion, plan.multi, shardPar, sp)...)
+			data.AppendTable(e.runShard(sh, st, exec, schema, full, hasRegion, plan.multi, shardPar, sp))
 		}
 	} else {
 		// Sharded fan-out with a streaming aggregator: shards complete
-		// in any order, but rows are appended in shard order so the
-		// materialized table is deterministic (dedup picks the same
-		// representative rows regardless of shard timing).
+		// in any order, but their columnar partials are appended in
+		// shard order so the materialized table is deterministic (dedup
+		// picks the same representative rows regardless of shard
+		// timing).
 		type partial struct {
-			idx  int
-			rows []table.Row
+			idx int
+			tbl *table.Table
 		}
 		ch := make(chan partial, len(plan.shards))
 		for i, sh := range plan.shards {
 			go func(i int, sh *splitShard) {
-				ch <- partial{idx: i, rows: e.runShard(sh, st, exec, schema, hasRegion, plan.multi, shardPar, sp)}
+				ch <- partial{idx: i, tbl: e.runShard(sh, st, exec, schema, full, hasRegion, plan.multi, shardPar, sp)}
 			}(i, sh)
 		}
-		buffered := make(map[int][]table.Row, len(plan.shards))
+		buffered := make(map[int]*table.Table, len(plan.shards))
 		next := 0
 		for range plan.shards {
 			p := <-ch
-			buffered[p.idx] = p.rows
+			buffered[p.idx] = p.tbl
 			for {
-				rows, ok := buffered[next]
+				tbl, ok := buffered[next]
 				if !ok {
 					break
 				}
-				data.Append(rows...)
+				data.AppendTable(tbl)
 				delete(buffered, next)
 				next++
 			}
@@ -701,8 +702,8 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, sp *obs.Span
 // records one child span under the PROCESS span (concurrent shards
 // annotate sibling spans; Span is mutex-guarded).
 func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Executor,
-	schema table.Schema, hasRegion, multi bool, par int, psp *obs.Span) []table.Row {
-	var out []table.Row
+	schema, full table.Schema, hasRegion, multi bool, par int, psp *obs.Span) *table.Table {
+	out := table.New(full)
 	camName := sh.cam.cfg.Name
 	camVal := table.S(camName)
 	// Per-chunk tallies accumulate in shard-local atomics (the chunk
@@ -721,7 +722,10 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 	}
 	for _, split := range sh.splits {
 		ords := split.ActiveChunks()
-		rowsByOrd := make([][]table.Row, len(ords))
+		// Each chunk produces one frozen columnar block in the declared
+		// PROCESS schema (the cacheable unit); blocks are stamped with
+		// the implicit columns and merged in chunk order afterwards.
+		blockByOrd := make([]*table.Table, len(ords))
 		var keyPrefix string
 		if e.chunkCache != nil {
 			keyPrefix = chunkKeyPrefix(
@@ -731,12 +735,12 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 		}
 		process := func(i int) {
 			chunk := split.ChunkAt(ords[i])
-			var rows []table.Row
+			var blk *table.Table
 			hit := false
 			var key string
 			if e.chunkCache != nil {
 				key = keyPrefix + chunkKeySuffix(chunk.Interval)
-				rows, hit = e.chunkCache.Get(key)
+				blk, hit = e.chunkCache.Get(key)
 			}
 			if hit {
 				hits.Add(1)
@@ -769,6 +773,7 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 				runExec := exec
 				runExec.Done = release
 				var clean bool
+				var rows []table.Row
 				execStart := time.Now()
 				rows, clean = runExec.RunChecked(chunk)
 				execDur := time.Since(execStart)
@@ -781,26 +786,15 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 				if !clean && st.Timeout > 0 && !released.Load() {
 					time.AfterFunc(slotGraceMultiple*st.Timeout, release)
 				}
+				blk = table.FromRows(schema, rows)
 				// Timeout/panic fallback rows depend on machine load,
 				// not on the chunk; caching them would poison every
 				// later query over this chunk with default rows.
 				if e.chunkCache != nil && clean {
-					e.chunkCache.Put(key, rows)
+					e.chunkCache.Put(key, blk) // freezes blk
 				}
 			}
-			stamped := make([]table.Row, len(rows))
-			ts := table.N(float64(chunk.Start.Unix()))
-			for j, r := range rows {
-				r = append(r, ts)
-				if hasRegion {
-					r = append(r, table.S(split.Region))
-				}
-				if multi {
-					r = append(r, camVal)
-				}
-				stamped[j] = r
-			}
-			rowsByOrd[i] = stamped
+			blockByOrd[i] = blk
 		}
 		if par > 1 && len(ords) > 1 {
 			var wg sync.WaitGroup
@@ -820,8 +814,18 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 				process(i)
 			}
 		}
-		for _, rows := range rowsByOrd {
-			out = append(out, rows...)
+		// Stamp implicit columns as per-block constants and merge in
+		// chunk order: column-wise copies, no row materialization.
+		for i, blk := range blockByOrd {
+			consts := make([]table.Value, 0, 3)
+			consts = append(consts, table.N(float64(split.ChunkAt(ords[i]).Start.Unix())))
+			if hasRegion {
+				consts = append(consts, table.S(split.Region))
+			}
+			if multi {
+				consts = append(consts, camVal)
+			}
+			out.AppendBlock(blk, consts...)
 		}
 	}
 	if ssp != nil {
@@ -830,7 +834,7 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 			ssp.Add("cache_misses", float64(misses.Load()))
 		}
 		ssp.Add("sandbox_seconds", time.Duration(sandboxNanos.Load()).Seconds())
-		ssp.Set("rows", len(out))
+		ssp.Set("rows", out.Len())
 	}
 	return out
 }

@@ -182,6 +182,27 @@ func (e *Engine) registerCollectors(reg *obs.Registry) {
 		"Chunk-result cache resident bytes.", obs.TypeGauge, nil,
 		cacheStat(func() float64 { return float64(e.CacheStats().Bytes) }))
 
+	if e.opts.DiskCacheDir != "" {
+		reg.CollectFunc("privid_chunk_cache_disk_hits_total",
+			"Chunk-result lookups served by the disk tier.", obs.TypeCounter, nil,
+			cacheStat(func() float64 { return float64(e.CacheStats().DiskHits) }))
+		reg.CollectFunc("privid_chunk_cache_disk_misses_total",
+			"Chunk-result lookups that missed the disk tier.", obs.TypeCounter, nil,
+			cacheStat(func() float64 { return float64(e.CacheStats().DiskMisses) }))
+		reg.CollectFunc("privid_chunk_cache_promotions_total",
+			"Disk-tier hits promoted back into the RAM tier.", obs.TypeCounter, nil,
+			cacheStat(func() float64 { return float64(e.CacheStats().Promotions) }))
+		reg.CollectFunc("privid_chunk_cache_disk_bytes",
+			"Disk-tier resident bytes across segments.", obs.TypeGauge, nil,
+			cacheStat(func() float64 { return float64(e.CacheStats().DiskBytes) }))
+		reg.CollectFunc("privid_chunk_cache_disk_segments",
+			"Disk-tier segment-file count.", obs.TypeGauge, nil,
+			cacheStat(func() float64 { return float64(e.CacheStats().DiskSegments) }))
+		reg.CollectFunc("privid_chunk_cache_disk_evictions_total",
+			"Disk-tier segments deleted to respect the size bound.", obs.TypeCounter, nil,
+			cacheStat(func() float64 { return float64(e.CacheStats().DiskEvictions) }))
+	}
+
 	// One collector enumerates the cameras per scrape rather than
 	// registering a child per RegisterCamera call: registration under
 	// e.mu must never touch the registry lock (see package obs).

@@ -66,7 +66,7 @@ func TestMultiCameraProvenanceColumn(t *testing.T) {
 		t.Fatalf("multi-camera table lacks the %q column: %v", table.CameraColumn, inst.Data.Schema.Names())
 	}
 	counts := map[string]int{}
-	for _, row := range inst.Data.Rows {
+	for _, row := range inst.Data.Rows() {
 		counts[row[ci].Str()]++
 	}
 	for _, cam := range []string{"camA", "camB", "camC"} {

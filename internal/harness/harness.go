@@ -64,6 +64,13 @@ type Config struct {
 	// first is named Camera; extras are named CameraName(1), ... and
 	// share the same scene shape, policy and Epsilon.
 	Cameras int
+	// ChunkCacheBytes configures the RAM chunk cache (0 = engine
+	// default, negative disables the RAM tier).
+	ChunkCacheBytes int64
+	// DiskCacheDir enables the persistent tier-2 chunk cache ("" =
+	// RAM-only). The directory outlives Restart, so memoized chunk
+	// results survive a simulated process restart.
+	DiskCacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +161,8 @@ func (h *H) boot() {
 		RepairState:         h.Cfg.RepairState,
 		SnapshotEvery:       h.Cfg.SnapshotEvery,
 		Store:               h.Cfg.Store,
+		ChunkCacheBytes:     h.Cfg.ChunkCacheBytes,
+		DiskCacheDir:        h.Cfg.DiskCacheDir,
 	})
 	if err != nil {
 		h.T.Fatalf("harness: open engine: %v", err)

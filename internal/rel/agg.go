@@ -66,11 +66,28 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 
 	base := Release{Fun: st.Agg.Fun, Begin: begin, End: end}
 
+	// The aggregate argument is evaluated columnar, once, shared across
+	// every group — and lazily, so a statement whose groups are all
+	// empty never evaluates it (matching the row-at-a-time evaluator).
+	var argv vec
+	argvDone := false
+	evalArg := func() (vec, error) {
+		var err error
+		if !argvDone {
+			argvDone = true
+			argv, err = evalVec(st.Agg.Arg, tbl)
+			if err != nil {
+				return vec{}, err
+			}
+		}
+		return argv, nil
+	}
+
 	if len(st.GroupBy) == 0 {
 		if st.Agg.Fun == query.AggArgmax {
 			return nil, fmt.Errorf("rel: ARGMAX requires GROUP BY")
 		}
-		raw, sens, err := aggregate(st.Agg, tbl.Schema, tbl.Rows, cons)
+		raw, sens, err := aggregateSel(st.Agg, tbl, nil, true, evalArg, cons)
 		if err != nil {
 			return nil, err
 		}
@@ -112,10 +129,22 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		return nil, fmt.Errorf("rel: GROUP BY %q requires WITH KEYS (analyst-defined keys leak data)", col)
 	}
 
-	// Partition rows by key.
-	byKey := map[string][]table.Row{}
-	for _, row := range tbl.Rows {
-		byKey[row[ci].Key()] = append(byKey[row[ci].Key()], row)
+	// Partition rows across the requested keys by hashed cell key (a
+	// row matching several identical requested keys lands in each),
+	// scanning the column once instead of building per-row key strings.
+	slots := make(map[uint64][]int, len(keys))
+	for si, k := range keys {
+		h := k.KeyHash()
+		slots[h] = append(slots[h], si)
+	}
+	groupSel := make([][]int, len(keys))
+	for i := 0; i < tbl.Len(); i++ {
+		h := tbl.HashCell(table.HashSeed, i, ci)
+		for _, si := range slots[h] {
+			if tbl.At(i, ci).KeyEqual(keys[si]) {
+				groupSel[si] = append(groupSel[si], i)
+			}
+		}
 	}
 
 	if st.Agg.Fun == query.AggArgmax {
@@ -143,8 +172,8 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 				r.Sensitivity = maxD
 			}
 		}
-		for _, k := range keys {
-			r.Scores = append(r.Scores, Score{Key: k, Raw: float64(len(byKey[k.Key()]))})
+		for si, k := range keys {
+			r.Scores = append(r.Scores, Score{Key: k, Raw: float64(len(groupSel[si]))})
 		}
 		return []Release{withWindows(r, spans, nil)}, nil
 	}
@@ -163,7 +192,7 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		if hasKD {
 			consK.Delta = kd[k.Str()]
 		}
-		raw, sens, err := aggregate(st.Agg, tbl.Schema, byKey[k.Key()], consK)
+		raw, sens, err := aggregateSel(st.Agg, tbl, groupSel[i], false, evalArg, consK)
 		if err != nil {
 			return nil, err
 		}
@@ -242,10 +271,20 @@ func withWindows(r Release, spans map[string][2]time.Time, only []string) Releas
 	return r
 }
 
-// aggregate computes one aggregate and its sensitivity over a row set.
-func aggregate(agg query.AggExpr, schema table.Schema, rows []table.Row, cons Constraints) (raw, sens float64, err error) {
+// aggregateSel computes one aggregate and its sensitivity over the
+// rows selected by sel (or the whole table when all is true),
+// accumulating straight off the argument's column vector. evalArg
+// memoizes the columnar evaluation of the argument across groups and
+// is only invoked when the row set is non-empty, preserving the
+// row-at-a-time evaluator's behavior of never evaluating expressions
+// over zero rows.
+func aggregateSel(agg query.AggExpr, tbl *table.Table, sel []int, all bool, evalArg func() (vec, error), cons Constraints) (raw, sens float64, err error) {
+	count := len(sel)
+	if all {
+		count = tbl.Len()
+	}
 	if agg.Fun == query.AggCount {
-		return float64(len(rows)), cons.Delta, nil
+		return float64(count), cons.Delta, nil
 	}
 	// The remaining functions need a numeric argument with a declared
 	// range (Fig. 10's constraint column).
@@ -254,29 +293,36 @@ func aggregate(agg query.AggExpr, schema table.Schema, rows []table.Row, cons Co
 		return 0, 0, fmt.Errorf("rel: %s requires a range constraint on its argument (use range(col, lo, hi))", agg.Fun)
 	}
 	width := rg.Width()
-	var vals []float64
-	for _, row := range rows {
-		v, err := evalExpr(agg.Arg, schema, row)
+	var av vec
+	if count > 0 {
+		av, err = evalArg()
 		if err != nil {
 			return 0, 0, err
 		}
-		x := v.Num()
-		// Defensive truncation: the declared range is a privacy
-		// constraint, so it is enforced regardless of what the
-		// untrusted rows contain.
+	}
+	// Defensive truncation: the declared range is a privacy constraint,
+	// so it is enforced regardless of what the untrusted rows contain.
+	clamped := func(i int) float64 {
+		x := av.numAt(i)
 		if x < rg.Lo {
 			x = rg.Lo
 		}
 		if x > rg.Hi {
 			x = rg.Hi
 		}
-		vals = append(vals, x)
+		return x
+	}
+	at := func(k int) float64 {
+		if all {
+			return clamped(k)
+		}
+		return clamped(sel[k])
 	}
 	switch agg.Fun {
 	case query.AggSum:
 		var s float64
-		for _, v := range vals {
-			s += v
+		for k := 0; k < count; k++ {
+			s += at(k)
 		}
 		return s, cons.Delta * width, nil
 	case query.AggAvg:
@@ -284,32 +330,32 @@ func aggregate(agg query.AggExpr, schema table.Schema, rows []table.Row, cons Co
 			return 0, 0, fmt.Errorf("rel: AVG requires a bounded relation size (use LIMIT or GROUP BY ... WITH KEYS)")
 		}
 		var s float64
-		for _, v := range vals {
-			s += v
+		for k := 0; k < count; k++ {
+			s += at(k)
 		}
 		mean := 0.0
-		if len(vals) > 0 {
-			mean = s / float64(len(vals))
+		if count > 0 {
+			mean = s / float64(count)
 		}
 		return mean, cons.Delta * width / math.Max(cons.Size, 1), nil
 	case query.AggVar:
 		if math.IsInf(cons.Size, 1) {
 			return 0, 0, fmt.Errorf("rel: VAR requires a bounded relation size")
 		}
-		if len(vals) == 0 {
+		if count == 0 {
 			return 0, square(cons.Delta*width) / math.Max(cons.Size, 1), nil
 		}
 		var s float64
-		for _, v := range vals {
-			s += v
+		for k := 0; k < count; k++ {
+			s += at(k)
 		}
-		mean := s / float64(len(vals))
+		mean := s / float64(count)
 		var ss float64
-		for _, v := range vals {
-			d := v - mean
+		for k := 0; k < count; k++ {
+			d := at(k) - mean
 			ss += d * d
 		}
-		return ss / float64(len(vals)), square(cons.Delta*width) / math.Max(cons.Size, 1), nil
+		return ss / float64(count), square(cons.Delta*width) / math.Max(cons.Size, 1), nil
 	default:
 		return 0, 0, fmt.Errorf("rel: unsupported aggregation %v", agg.Fun)
 	}

@@ -4,13 +4,18 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"privid/internal/query"
 	"privid/internal/table"
 )
 
 // execRel evaluates a relational expression, returning its rows and
-// the propagated privacy constraints.
+// the propagated privacy constraints. Operators work directly on the
+// tables' columnar backing: selections produce index vectors, group and
+// join keys are hashed (with exact-equality collision checks) instead
+// of concatenated into strings, and output columns are preallocated
+// from the input cardinality.
 func execRel(r query.RelExpr, env Env) (*table.Table, Constraints, error) {
 	switch rel := r.(type) {
 	case *query.TableRef:
@@ -90,34 +95,45 @@ func execSelect(rel *query.SelectExpr, env Env) (*table.Table, Constraints, erro
 	if err != nil {
 		return nil, Constraints{}, err
 	}
-	rows := in.Rows
-	// WHERE filters on the input schema.
-	if rel.Where != nil {
-		var kept []table.Row
-		for _, row := range rows {
-			v, err := evalExpr(rel.Where, in.Schema, row)
-			if err != nil {
-				return nil, Constraints{}, err
-			}
-			if v.Num() != 0 {
-				kept = append(kept, row)
-			}
+	n := in.Len()
+	// WHERE filters on the input schema, producing a selection vector.
+	all := true // identity selection: every row kept, in order
+	var sel []int
+	if rel.Where != nil && n > 0 {
+		cond, err := evalVec(rel.Where, in)
+		if err != nil {
+			return nil, Constraints{}, err
 		}
-		rows = kept
+		sel = selTrue(cond)
+		all = false
+	}
+	kept := n
+	if !all {
+		kept = len(sel)
 	}
 	// LIMIT caps the row count and, importantly, binds C̃s (Fig. 10's
 	// σ_limit rule).
-	if rel.Limit > 0 && len(rows) > rel.Limit {
-		rows = rows[:rel.Limit]
+	if rel.Limit > 0 && kept > rel.Limit {
+		if all {
+			sel = make([]int, rel.Limit)
+			for i := range sel {
+				sel[i] = i
+			}
+			all = false
+		} else {
+			sel = sel[:rel.Limit]
+		}
+		kept = rel.Limit
 	}
 	out := cons.clone()
 	if rel.Limit > 0 {
 		out.Size = math.Min(out.Size, float64(rel.Limit))
 	}
 	if rel.Star {
-		t := table.New(in.Schema)
-		t.Rows = rows
-		return t, out, nil
+		if all {
+			return in, out, nil
+		}
+		return in.Gather(sel), out, nil
 	}
 	// Projection: evaluate each item, deriving the new constraint
 	// maps (Fig. 10's Π rules).
@@ -172,19 +188,44 @@ func execSelect(rel *query.SelectExpr, env Env) (*table.Table, Constraints, erro
 	out.KeyCams = newKeyCams
 	out.DedupKeys = nil
 
-	t := &table.Table{Schema: table.Schema{Cols: cols}}
-	for _, row := range rows {
-		nr := make(table.Row, len(rel.Items))
-		for i, it := range rel.Items {
-			v, err := evalExpr(it.Expr, in.Schema, row)
-			if err != nil {
-				return nil, Constraints{}, err
-			}
-			nr[i] = v.Coerce(cols[i].Type)
-		}
-		t.Rows = append(t.Rows, nr)
+	if kept == 0 {
+		// No rows survive; item expressions are never evaluated (the
+		// row-at-a-time evaluator had the same property).
+		return table.New(table.Schema{Cols: cols}), out, nil
 	}
-	return t, out, nil
+	b := table.NewBuilder(table.Schema{Cols: cols}, kept)
+	for i, it := range rel.Items {
+		v, err := evalVec(it.Expr, in)
+		if err != nil {
+			return nil, Constraints{}, err
+		}
+		if all {
+			setCol(b, i, v)
+		} else {
+			setCol(b, i, gatherVec(v, sel))
+		}
+	}
+	return b.Build(), out, nil
+}
+
+// hashRowKey chains the key hash of row i over the idx columns.
+func hashRowKey(t *table.Table, idx []int, i int) uint64 {
+	h := table.HashSeed
+	for _, j := range idx {
+		h = t.HashCell(h, i, j)
+	}
+	return h
+}
+
+// rowKeysEqual reports grouping-key equality of two rows (possibly of
+// different tables) over parallel key-column lists.
+func rowKeysEqual(a *table.Table, ai int, aIdx []int, b *table.Table, bi int, bIdx []int) bool {
+	for k := range aIdx {
+		if !table.CellKeyEqual(a, ai, aIdx[k], b, bi, bIdx[k]) {
+			return false
+		}
+	}
+	return true
 }
 
 func execGroup(rel *query.GroupExpr, env Env) (*table.Table, Constraints, error) {
@@ -199,33 +240,48 @@ func execGroup(rel *query.GroupExpr, env Env) (*table.Table, Constraints, error)
 			return nil, Constraints{}, fmt.Errorf("rel: GROUP BY unknown column %q", k)
 		}
 	}
-	var allow map[string]bool
+	var allow map[uint64][]table.Value
 	if len(rel.WithKeys) > 0 {
 		if len(rel.Keys) != 1 {
 			return nil, Constraints{}, fmt.Errorf("rel: WITH KEYS requires a single group column")
 		}
-		allow = make(map[string]bool, len(rel.WithKeys))
+		allow = make(map[uint64][]table.Value, len(rel.WithKeys))
 		for _, k := range rel.WithKeys {
-			allow[k.Key()] = true
+			allow[k.KeyHash()] = append(allow[k.KeyHash()], k)
 		}
 	}
 	// Deduplicate: one representative row (the first) per key tuple.
-	seen := map[string]bool{}
-	out := table.New(in.Schema)
-	for _, row := range in.Rows {
-		key := ""
-		for _, j := range idx {
-			key += row[j].Key() + "\x00"
+	n := in.Len()
+	seen := make(map[uint64][]int)
+	sel := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if allow != nil {
+			ok := false
+			for _, v := range allow[in.HashCell(table.HashSeed, i, idx[0])] {
+				if in.At(i, idx[0]).KeyEqual(v) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
 		}
-		if allow != nil && !allow[row[idx[0]].Key()] {
+		h := hashRowKey(in, idx, i)
+		dup := false
+		for _, p := range seen[h] {
+			if rowKeysEqual(in, i, idx, in, p, idx) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out.Rows = append(out.Rows, row)
+		seen[h] = append(seen[h], i)
+		sel = append(sel, i)
 	}
+	out := in.Gather(sel)
 	oc := cons.clone()
 	switch {
 	case len(rel.WithKeys) > 0:
@@ -252,6 +308,40 @@ func keysMatch(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// firstPerKey returns, for each distinct key tuple in row order, the
+// index of its first row, plus the hash map for key lookups.
+func firstPerKey(t *table.Table, idx []int) (order []int, byHash map[uint64][]int) {
+	byHash = make(map[uint64][]int)
+	for i := 0; i < t.Len(); i++ {
+		h := hashRowKey(t, idx, i)
+		dup := false
+		for _, p := range byHash[h] {
+			if rowKeysEqual(t, i, idx, t, p, idx) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		byHash[h] = append(byHash[h], i)
+		order = append(order, i)
+	}
+	return order, byHash
+}
+
+// lookupKey finds the recorded row of `in` (via byHash over inIdx)
+// whose key equals row i of probe (over probeIdx), or -1.
+func lookupKey(byHash map[uint64][]int, in *table.Table, inIdx []int, probe *table.Table, probeIdx []int, i int) int {
+	h := hashRowKey(probe, probeIdx, i)
+	for _, p := range byHash[h] {
+		if rowKeysEqual(probe, i, probeIdx, in, p, inIdx) {
+			return p
+		}
+	}
+	return -1
 }
 
 func execJoin(rel *query.JoinExpr, env Env) (*table.Table, Constraints, error) {
@@ -323,85 +413,66 @@ func execJoin(rel *query.JoinExpr, env Env) (*table.Table, Constraints, error) {
 	}
 	schema := table.Schema{Cols: cols}
 
-	keyOf := func(row table.Row, idx []int) string {
-		k := ""
-		for _, j := range idx {
-			k += row[j].Key() + "\x00"
-		}
-		return k
-	}
-	lByKey := map[string]table.Row{}
-	var order []string
-	for _, row := range lt.Rows {
-		k := keyOf(row, lIdx)
-		if _, ok := lByKey[k]; !ok {
-			lByKey[k] = row
-			order = append(order, k)
-		}
-	}
-	rByKey := map[string]table.Row{}
-	for _, row := range rt.Rows {
-		k := keyOf(row, rIdx)
-		if _, ok := rByKey[k]; !ok {
-			rByKey[k] = row
-		}
-	}
-	emit := func(out *table.Table, l, r table.Row) {
-		row := make(table.Row, 0, len(cols))
-		src := l
-		idx := lIdx
-		if src == nil {
-			src = r
-			idx = rIdx
-		}
-		for i := range rel.On {
-			row = append(row, src[idx[i]])
-		}
-		for pi, p := range picks {
-			switch {
-			case p.side == 0 && l != nil:
-				row = append(row, l[p.col])
-			case p.side == 1 && r != nil:
-				row = append(row, r[p.col])
-			default:
-				// Missing side of an outer join: type default.
-				if cols[len(rel.On)+pi].Type == table.DNumber {
-					row = append(row, table.N(0))
-				} else {
-					row = append(row, table.S(""))
-				}
-			}
-		}
-		out.Rows = append(out.Rows, row)
-	}
+	// First row per key on each side (inputs are deduped, but stay
+	// defensive), then match by hashed key.
+	lOrder, lByHash := firstPerKey(lt, lIdx)
+	rOrder, rByHash := firstPerKey(rt, rIdx)
 
-	out := table.New(schema)
+	var lsel, rsel []int // row per output row; -1 = missing side
 	if rel.Outer {
-		for _, k := range order {
-			emit(out, lByKey[k], rByKey[k]) // rByKey[k] may be nil
+		lsel = make([]int, 0, len(lOrder)+len(rOrder))
+		rsel = make([]int, 0, len(lOrder)+len(rOrder))
+		for _, li := range lOrder {
+			lsel = append(lsel, li)
+			rsel = append(rsel, lookupKey(rByHash, rt, rIdx, lt, lIdx, li))
 		}
 		// Keys only on the right.
-		var rOrder []string
-		seen := map[string]bool{}
-		for _, row := range rt.Rows {
-			k := keyOf(row, rIdx)
-			if !seen[k] {
-				seen[k] = true
-				rOrder = append(rOrder, k)
-			}
-		}
-		for _, k := range rOrder {
-			if _, ok := lByKey[k]; !ok {
-				emit(out, nil, rByKey[k])
+		for _, ri := range rOrder {
+			if lookupKey(lByHash, lt, lIdx, rt, rIdx, ri) < 0 {
+				lsel = append(lsel, -1)
+				rsel = append(rsel, ri)
 			}
 		}
 	} else {
-		for _, k := range order {
-			if r, ok := rByKey[k]; ok {
-				emit(out, lByKey[k], r)
+		lsel = make([]int, 0, len(lOrder))
+		rsel = make([]int, 0, len(lOrder))
+		for _, li := range lOrder {
+			if ri := lookupKey(rByHash, rt, rIdx, lt, lIdx, li); ri >= 0 {
+				lsel = append(lsel, li)
+				rsel = append(rsel, ri)
 			}
 		}
 	}
+
+	nout := len(lsel)
+	b := table.NewBuilder(schema, nout)
+	// Key columns: the left cell, or the right cell for right-only keys.
+	for k := range rel.On {
+		lk, rk := lIdx[k], rIdx[k]
+		fillJoinCol(b, k, cols[k].Type, nout, func(i int) (*table.Table, int, int) {
+			if lsel[i] >= 0 {
+				return lt, lk, lsel[i]
+			}
+			return rt, rk, rsel[i]
+		})
+	}
+	// Picked columns: own side's cell, or the type default when the
+	// outer join's other side is missing.
+	for pi, p := range picks {
+		jout := len(rel.On) + pi
+		side, col := p.side, p.col
+		fillJoinCol(b, jout, cols[jout].Type, nout, func(i int) (*table.Table, int, int) {
+			if side == 0 {
+				if lsel[i] >= 0 {
+					return lt, col, lsel[i]
+				}
+			} else if rsel[i] >= 0 {
+				return rt, col, rsel[i]
+			}
+			return nil, 0, 0
+		})
+	}
+	out := b.Build()
 
 	// Constraints: the additive JOIN rule (§6.3 "primed table"
 	// argument): a value need only appear in either input to appear in
@@ -456,6 +527,44 @@ func execJoin(rel *query.JoinExpr, env Env) (*table.Table, Constraints, error) {
 	return out, oc, nil
 }
 
+// fillJoinCol writes one join output column. src yields the source
+// cell of each output row ((nil, 0, 0) for the missing side of an
+// outer join, which takes the type default: 0 / ""). A source cell of
+// the other type coerces — via the parse-once view into a NUMBER
+// column, via formatting into a STRING column.
+func fillJoinCol(b *table.Builder, jout int, typ table.DType, nout int, src func(i int) (*table.Table, int, int)) {
+	if typ == table.DNumber {
+		out := make([]float64, nout)
+		for i := 0; i < nout; i++ {
+			if t, c, r := src(i); t != nil {
+				out[i] = t.Nums(c)[r]
+			}
+		}
+		b.SetNums(jout, out)
+		return
+	}
+	strs := make([]string, nout)
+	nums := make([]float64, nout)
+	valid := make([]bool, nout)
+	for i := 0; i < nout; i++ {
+		t, c, r := src(i)
+		switch {
+		case t == nil:
+			// "" default: zero values, unparseable.
+		case t.Schema.Cols[c].Type == table.DString:
+			strs[i] = t.Strs(c)[r]
+			nums[i] = t.Nums(c)[r]
+			valid[i] = t.Valid(c)[r]
+		default:
+			f := t.Nums(c)[r]
+			strs[i] = strconv.FormatFloat(f, 'g', -1, 64)
+			nums[i] = f
+			valid[i] = true
+		}
+	}
+	b.SetStrsView(jout, strs, nums, valid)
+}
+
 func execUnion(rel *query.UnionExpr, env Env) (*table.Table, Constraints, error) {
 	lt, lc, err := execRel(rel.Left, env)
 	if err != nil {
@@ -478,15 +587,40 @@ func execUnion(rel *query.UnionExpr, env Env) (*table.Table, Constraints, error)
 	if len(rt.Schema.Cols) != len(lt.Schema.Cols) {
 		return nil, Constraints{}, fmt.Errorf("rel: UNION column counts differ (%d vs %d)", len(lt.Schema.Cols), len(rt.Schema.Cols))
 	}
-	out := table.New(lt.Schema)
-	out.Rows = append(out.Rows, lt.Rows...)
-	for _, row := range rt.Rows {
-		nr := make(table.Row, len(remap))
-		for i, j := range remap {
-			nr[i] = row[j].Coerce(lt.Schema.Cols[i].Type)
+	nl, nr := lt.Len(), rt.Len()
+	b := table.NewBuilder(lt.Schema, nl+nr)
+	for i, c := range lt.Schema.Cols {
+		j := remap[i]
+		if c.Type == table.DNumber {
+			out := make([]float64, nl+nr)
+			copy(out, lt.Nums(i))
+			// The right column's numeric view IS its NUMBER coercion,
+			// whatever its declared type.
+			copy(out[nl:], rt.Nums(j))
+			b.SetNums(i, out)
+			continue
 		}
-		out.Rows = append(out.Rows, nr)
+		strs := make([]string, nl+nr)
+		nums := make([]float64, nl+nr)
+		valid := make([]bool, nl+nr)
+		copy(strs, lt.Strs(i))
+		copy(nums, lt.Nums(i))
+		copy(valid, lt.Valid(i))
+		if rt.Schema.Cols[j].Type == table.DString {
+			copy(strs[nl:], rt.Strs(j))
+			copy(nums[nl:], rt.Nums(j))
+			copy(valid[nl:], rt.Valid(j))
+		} else {
+			rn := rt.Nums(j)
+			for k, f := range rn {
+				strs[nl+k] = strconv.FormatFloat(f, 'g', -1, 64)
+				nums[nl+k] = f
+				valid[nl+k] = true
+			}
+		}
+		b.SetStrsView(i, strs, nums, valid)
 	}
+	out := b.Build()
 	oc := Constraints{
 		Delta:   lc.Delta + rc.Delta,
 		Size:    lc.Size + rc.Size,

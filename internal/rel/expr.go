@@ -8,130 +8,10 @@ import (
 	"privid/internal/table"
 )
 
-// evalExpr evaluates a scalar expression against one row. Booleans are
-// represented as NUMBER 1/0.
-func evalExpr(e query.Expr, schema table.Schema, row table.Row) (table.Value, error) {
-	switch ex := e.(type) {
-	case *query.ColRef:
-		i := schema.Index(ex.Name)
-		if i < 0 {
-			return table.Value{}, fmt.Errorf("unknown column %q", ex.Name)
-		}
-		return row[i], nil
-	case *query.NumLit:
-		return table.N(ex.V), nil
-	case *query.StrLit:
-		return table.S(ex.V), nil
-	case *query.BinExpr:
-		return evalBin(ex, schema, row)
-	case *query.CallExpr:
-		return evalCall(ex, schema, row)
-	default:
-		return table.Value{}, fmt.Errorf("unsupported expression %T", e)
-	}
-}
-
-func evalBin(ex *query.BinExpr, schema table.Schema, row table.Row) (table.Value, error) {
-	l, err := evalExpr(ex.L, schema, row)
-	if err != nil {
-		return table.Value{}, err
-	}
-	r, err := evalExpr(ex.R, schema, row)
-	if err != nil {
-		return table.Value{}, err
-	}
-	b := func(v bool) table.Value {
-		if v {
-			return table.N(1)
-		}
-		return table.N(0)
-	}
-	switch ex.Op {
-	case "+":
-		return table.N(l.Num() + r.Num()), nil
-	case "-":
-		return table.N(l.Num() - r.Num()), nil
-	case "*":
-		return table.N(l.Num() * r.Num()), nil
-	case "/":
-		d := r.Num()
-		if d == 0 {
-			return table.N(0), nil // untrusted data: divide-by-zero yields 0, never a crash
-		}
-		return table.N(l.Num() / d), nil
-	case "=":
-		if l.Type() == table.DString || r.Type() == table.DString {
-			return b(l.Str() == r.Str()), nil
-		}
-		return b(l.Num() == r.Num()), nil
-	case "!=":
-		if l.Type() == table.DString || r.Type() == table.DString {
-			return b(l.Str() != r.Str()), nil
-		}
-		return b(l.Num() != r.Num()), nil
-	case "<":
-		return b(l.Num() < r.Num()), nil
-	case "<=":
-		return b(l.Num() <= r.Num()), nil
-	case ">":
-		return b(l.Num() > r.Num()), nil
-	case ">=":
-		return b(l.Num() >= r.Num()), nil
-	case "AND":
-		return b(l.Num() != 0 && r.Num() != 0), nil
-	case "OR":
-		return b(l.Num() != 0 || r.Num() != 0), nil
-	default:
-		return table.Value{}, fmt.Errorf("unknown operator %q", ex.Op)
-	}
-}
-
-func evalCall(ex *query.CallExpr, schema table.Schema, row table.Row) (table.Value, error) {
-	switch ex.Name {
-	case "range":
-		v, err := evalExpr(ex.Args[0], schema, row)
-		if err != nil {
-			return table.Value{}, err
-		}
-		lo := ex.Args[1].(*query.NumLit).V
-		hi := ex.Args[2].(*query.NumLit).V
-		x := v.Num()
-		// range() truncates values to the declared interval (§6.2).
-		if x < lo {
-			x = lo
-		}
-		if x > hi {
-			x = hi
-		}
-		return table.N(x), nil
-	case "hour":
-		v, err := evalExpr(ex.Args[0], schema, row)
-		if err != nil {
-			return table.Value{}, err
-		}
-		sec := int64(v.Num())
-		return table.N(float64((sec / 3600) % 24)), nil
-	case "day":
-		v, err := evalExpr(ex.Args[0], schema, row)
-		if err != nil {
-			return table.Value{}, err
-		}
-		sec := int64(v.Num())
-		return table.N(float64(sec / 86400)), nil
-	case "bin":
-		v, err := evalExpr(ex.Args[0], schema, row)
-		if err != nil {
-			return table.Value{}, err
-		}
-		w := ex.Args[1].(*query.NumLit).V
-		if w <= 0 {
-			return table.Value{}, fmt.Errorf("bin width must be positive")
-		}
-		return table.N(math.Floor(v.Num()/w) * w), nil
-	default:
-		return table.Value{}, fmt.Errorf("unknown function %q", ex.Name)
-	}
-}
+// The scalar evaluator is columnar (see vec.go); the historical
+// row-at-a-time evaluator lives on in oracle_test.go as the reference
+// implementation for the differential property test. This file keeps
+// the static expression analyses shared by both.
 
 // exprName returns the output column name for a projected expression
 // without an alias: bare column references keep their name; everything

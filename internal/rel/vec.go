@@ -1,0 +1,319 @@
+package rel
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"privid/internal/query"
+	"privid/internal/table"
+)
+
+// vec is the columnar result of a scalar expression over a table: one
+// value per row, stored as a shared column slice, a freshly computed
+// slice, or a constant. STRING vecs only arise from column references
+// and string literals (every operator and function yields NUMBER), so a
+// non-const string vec always carries the table's parse-once numeric
+// view alongside.
+type vec struct {
+	typ     table.DType
+	n       int
+	isConst bool
+	nums    []float64 // typ==DNumber, len n
+	strs    []string  // typ==DString, len n
+	snums   []float64 // numeric view of strs
+	svalid  []bool    // validity view of strs
+	cnum    float64   // constant NUMBER (or numeric view of cstr)
+	cstr    string    // constant STRING
+}
+
+// numsOf returns the length-n numeric view of a non-const vec.
+func (v vec) numsOf() []float64 {
+	if v.typ == table.DNumber {
+		return v.nums
+	}
+	return v.snums
+}
+
+// numAt returns the numeric value of row i (the Value.Num coercion).
+func (v vec) numAt(i int) float64 {
+	if v.isConst {
+		return v.cnum
+	}
+	return v.numsOf()[i]
+}
+
+// evalVec evaluates a scalar expression over every row of t. Booleans
+// are NUMBER 1/0, matching the row-at-a-time evaluator it replaces.
+func evalVec(e query.Expr, t *table.Table) (vec, error) {
+	n := t.Len()
+	switch ex := e.(type) {
+	case *query.ColRef:
+		j := t.Schema.Index(ex.Name)
+		if j < 0 {
+			return vec{}, fmt.Errorf("unknown column %q", ex.Name)
+		}
+		if t.Schema.Cols[j].Type == table.DNumber {
+			return vec{typ: table.DNumber, n: n, nums: t.Nums(j)}, nil
+		}
+		return vec{typ: table.DString, n: n, strs: t.Strs(j), snums: t.Nums(j), svalid: t.Valid(j)}, nil
+	case *query.NumLit:
+		return vec{typ: table.DNumber, n: n, isConst: true, cnum: ex.V}, nil
+	case *query.StrLit:
+		return vec{typ: table.DString, n: n, isConst: true, cstr: ex.V, cnum: table.S(ex.V).Num()}, nil
+	case *query.BinExpr:
+		l, err := evalVec(ex.L, t)
+		if err != nil {
+			return vec{}, err
+		}
+		r, err := evalVec(ex.R, t)
+		if err != nil {
+			return vec{}, err
+		}
+		return binVec(ex.Op, l, r)
+	case *query.CallExpr:
+		return callVec(ex, t)
+	default:
+		return vec{}, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func boolNum(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func binVec(op string, l, r vec) (vec, error) {
+	switch op {
+	case "+":
+		return arith(l, r, func(a, b float64) float64 { return a + b }), nil
+	case "-":
+		return arith(l, r, func(a, b float64) float64 { return a - b }), nil
+	case "*":
+		return arith(l, r, func(a, b float64) float64 { return a * b }), nil
+	case "/":
+		return arith(l, r, func(a, b float64) float64 {
+			if b == 0 {
+				return 0 // untrusted data: divide-by-zero yields 0, never a crash
+			}
+			return a / b
+		}), nil
+	case "=":
+		return eqVec(l, r, false), nil
+	case "!=":
+		return eqVec(l, r, true), nil
+	case "<":
+		return arith(l, r, func(a, b float64) float64 { return boolNum(a < b) }), nil
+	case "<=":
+		return arith(l, r, func(a, b float64) float64 { return boolNum(a <= b) }), nil
+	case ">":
+		return arith(l, r, func(a, b float64) float64 { return boolNum(a > b) }), nil
+	case ">=":
+		return arith(l, r, func(a, b float64) float64 { return boolNum(a >= b) }), nil
+	case "AND":
+		return arith(l, r, func(a, b float64) float64 { return boolNum(a != 0 && b != 0) }), nil
+	case "OR":
+		return arith(l, r, func(a, b float64) float64 { return boolNum(a != 0 || b != 0) }), nil
+	default:
+		return vec{}, fmt.Errorf("unknown operator %q", op)
+	}
+}
+
+// arith applies a numeric binary function element-wise, folding
+// constants and skipping per-row Value boxing entirely.
+func arith(l, r vec, f func(a, b float64) float64) vec {
+	n := l.n
+	if l.isConst && r.isConst {
+		return vec{typ: table.DNumber, n: n, isConst: true, cnum: f(l.cnum, r.cnum)}
+	}
+	out := make([]float64, n)
+	switch {
+	case l.isConst:
+		rn := r.numsOf()
+		for i := 0; i < n; i++ {
+			out[i] = f(l.cnum, rn[i])
+		}
+	case r.isConst:
+		ln := l.numsOf()
+		for i := 0; i < n; i++ {
+			out[i] = f(ln[i], r.cnum)
+		}
+	default:
+		ln, rn := l.numsOf(), r.numsOf()
+		for i := 0; i < n; i++ {
+			out[i] = f(ln[i], rn[i])
+		}
+	}
+	return vec{typ: table.DNumber, n: n, nums: out}
+}
+
+// strAt renders row i as a string (the Value.Str coercion).
+func (v vec) strAt(i int) string {
+	if v.typ == table.DString {
+		if v.isConst {
+			return v.cstr
+		}
+		return v.strs[i]
+	}
+	if v.isConst {
+		return strconv.FormatFloat(v.cnum, 'g', -1, 64)
+	}
+	return strconv.FormatFloat(v.nums[i], 'g', -1, 64)
+}
+
+// eqVec implements = / != with the evaluator's mixed-type rule: if
+// either side is a STRING, compare string renderings; otherwise compare
+// numerically.
+func eqVec(l, r vec, neq bool) vec {
+	if l.typ != table.DString && r.typ != table.DString {
+		return arith(l, r, func(a, b float64) float64 { return boolNum((a == b) != neq) })
+	}
+	n := l.n
+	if l.isConst && r.isConst {
+		return vec{typ: table.DNumber, n: n, isConst: true,
+			cnum: boolNum((l.strAt(0) == r.strAt(0)) != neq)}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = boolNum((l.strAt(i) == r.strAt(i)) != neq)
+	}
+	return vec{typ: table.DNumber, n: n, nums: out}
+}
+
+// unary applies a numeric unary function element-wise.
+func unary(v vec, f func(float64) float64) vec {
+	if v.isConst {
+		return vec{typ: table.DNumber, n: v.n, isConst: true, cnum: f(v.cnum)}
+	}
+	out := make([]float64, v.n)
+	vn := v.numsOf()
+	for i := range out {
+		out[i] = f(vn[i])
+	}
+	return vec{typ: table.DNumber, n: v.n, nums: out}
+}
+
+func callVec(ex *query.CallExpr, t *table.Table) (vec, error) {
+	switch ex.Name {
+	case "range":
+		v, err := evalVec(ex.Args[0], t)
+		if err != nil {
+			return vec{}, err
+		}
+		lo := ex.Args[1].(*query.NumLit).V
+		hi := ex.Args[2].(*query.NumLit).V
+		// range() truncates values to the declared interval (§6.2).
+		return unary(v, func(x float64) float64 {
+			if x < lo {
+				return lo
+			}
+			if x > hi {
+				return hi
+			}
+			return x
+		}), nil
+	case "hour":
+		v, err := evalVec(ex.Args[0], t)
+		if err != nil {
+			return vec{}, err
+		}
+		return unary(v, func(x float64) float64 {
+			return float64((int64(x) / 3600) % 24)
+		}), nil
+	case "day":
+		v, err := evalVec(ex.Args[0], t)
+		if err != nil {
+			return vec{}, err
+		}
+		return unary(v, func(x float64) float64 {
+			return float64(int64(x) / 86400)
+		}), nil
+	case "bin":
+		v, err := evalVec(ex.Args[0], t)
+		if err != nil {
+			return vec{}, err
+		}
+		w := ex.Args[1].(*query.NumLit).V
+		if w <= 0 {
+			return vec{}, fmt.Errorf("bin width must be positive")
+		}
+		return unary(v, func(x float64) float64 {
+			return math.Floor(x/w) * w
+		}), nil
+	default:
+		return vec{}, fmt.Errorf("unknown function %q", ex.Name)
+	}
+}
+
+// selTrue returns the selection vector of rows where cond is nonzero.
+func selTrue(cond vec) []int {
+	if cond.isConst {
+		if cond.cnum == 0 {
+			return []int{}
+		}
+		sel := make([]int, cond.n)
+		for i := range sel {
+			sel[i] = i
+		}
+		return sel
+	}
+	sel := make([]int, 0, cond.n)
+	nums := cond.numsOf()
+	for i, f := range nums {
+		if f != 0 {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// gatherVec selects rows of v by sel, in sel order. A nil sel is the
+// identity.
+func gatherVec(v vec, sel []int) vec {
+	if sel == nil {
+		return v
+	}
+	n := len(sel)
+	if v.isConst {
+		out := v
+		out.n = n
+		return out
+	}
+	if v.typ == table.DNumber {
+		out := make([]float64, n)
+		for k, i := range sel {
+			out[k] = v.nums[i]
+		}
+		return vec{typ: table.DNumber, n: n, nums: out}
+	}
+	strs := make([]string, n)
+	nums := make([]float64, n)
+	valid := make([]bool, n)
+	for k, i := range sel {
+		strs[k] = v.strs[i]
+		nums[k] = v.snums[i]
+		valid[k] = v.svalid[i]
+	}
+	return vec{typ: table.DString, n: n, strs: strs, snums: nums, svalid: valid}
+}
+
+// setCol installs a vec as builder column j. The vec's type always
+// matches the declared column type (exprType and evalVec agree by
+// construction).
+func setCol(b *table.Builder, j int, v vec) {
+	if v.typ == table.DNumber {
+		if v.isConst {
+			b.SetConstNum(j, v.cnum)
+			return
+		}
+		b.SetNums(j, v.nums)
+		return
+	}
+	if v.isConst {
+		b.SetConstStr(j, v.cstr)
+		return
+	}
+	b.SetStrsView(j, v.strs, v.snums, v.svalid)
+}

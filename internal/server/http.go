@@ -440,14 +440,22 @@ func (a *API) getStats(w http.ResponseWriter, _ *http.Request) {
 		"scheduler": a.sched.Stats(),
 		"cameras":   cams,
 		"chunk_cache": map[string]any{
-			"hits":      cs.Hits,
-			"misses":    cs.Misses,
-			"hit_rate":  cs.HitRate(),
-			"puts":      cs.Puts,
-			"evictions": cs.Evictions,
-			"entries":   cs.Entries,
-			"bytes":     cs.Bytes,
-			"max_bytes": cs.MaxBytes,
+			"hits":           cs.Hits,
+			"misses":         cs.Misses,
+			"hit_rate":       cs.HitRate(),
+			"puts":           cs.Puts,
+			"evictions":      cs.Evictions,
+			"entries":        cs.Entries,
+			"bytes":          cs.Bytes,
+			"max_bytes":      cs.MaxBytes,
+			"disk_hits":      cs.DiskHits,
+			"disk_misses":    cs.DiskMisses,
+			"disk_puts":      cs.DiskPuts,
+			"promotions":     cs.Promotions,
+			"disk_bytes":     cs.DiskBytes,
+			"disk_max_bytes": cs.DiskMaxBytes,
+			"disk_segments":  cs.DiskSegments,
+			"disk_evictions": cs.DiskEvictions,
 		},
 	})
 }

@@ -1,0 +1,250 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary table codec (version 1) for the disk tier of the chunk cache.
+// Layout, little-endian:
+//
+//	u8  version
+//	u16 ncols
+//	per column:
+//	  u8  type (0 STRING, 1 NUMBER)
+//	  u16 len(name) | name bytes
+//	  u8  default type | default payload (8B float, or u32 len | bytes)
+//	u32 nrows
+//	per column data:
+//	  NUMBER: 8*nrows bytes of IEEE-754 floats
+//	  STRING: per row, u32 len | bytes
+//
+// Decode rebuilds the parse-once numeric view for STRING columns, so a
+// table read back from disk is cell-for-cell identical to the one
+// encoded — including its coercion behavior.
+
+const codecVersion = 1
+
+// EncodeBinary serializes the table.
+func (t *Table) EncodeBinary() []byte {
+	var b []byte
+	b = append(b, codecVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(t.Schema.Cols)))
+	for _, c := range t.Schema.Cols {
+		b = append(b, byte(c.Type))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Name)))
+		b = append(b, c.Name...)
+		b = append(b, byte(c.Default.Type()))
+		if c.Default.Type() == DNumber {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.Default.Num()))
+		} else {
+			s := c.Default.Str()
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+			b = append(b, s...)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(t.n))
+	for j := range t.Schema.Cols {
+		if t.Schema.Cols[j].Type == DNumber {
+			for _, f := range t.cols[j].nums {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+			}
+			continue
+		}
+		for _, s := range t.cols[j].strs {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+			b = append(b, s...)
+		}
+	}
+	return b
+}
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) u8() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("table: truncated codec input")
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.remaining() < 2 {
+		return 0, fmt.Errorf("table: truncated codec input")
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, fmt.Errorf("table: truncated codec input")
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("table: truncated codec input")
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, fmt.Errorf("table: truncated codec input")
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) str(n uint32) (string, error) {
+	raw, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func decodeDType(b byte) (DType, error) {
+	switch DType(b) {
+	case DString, DNumber:
+		return DType(b), nil
+	default:
+		return 0, fmt.Errorf("table: bad column type %d", b)
+	}
+}
+
+// DecodeBinary deserializes a table encoded by EncodeBinary. It never
+// panics on malformed input and bounds every allocation by the input
+// length, so the disk tier can feed it untrusted (torn or corrupted)
+// segment payloads.
+func DecodeBinary(raw []byte) (*Table, error) {
+	d := &decoder{b: raw}
+	ver, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("table: codec version %d unsupported", ver)
+	}
+	ncols, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]Column, 0, ncols)
+	for c := 0; c < int(ncols); c++ {
+		tb, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := decodeDType(tb)
+		if err != nil {
+			return nil, err
+		}
+		nameLen, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.str(uint32(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		db, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		dtyp, err := decodeDType(db)
+		if err != nil {
+			return nil, err
+		}
+		var def Value
+		if dtyp == DNumber {
+			bits, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			def = N(math.Float64frombits(bits))
+		} else {
+			sl, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			s, err := d.str(sl)
+			if err != nil {
+				return nil, err
+			}
+			def = S(s)
+		}
+		cols = append(cols, Column{Name: name, Type: typ, Default: def})
+	}
+	nrows, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Bound nrows by the minimum bytes each row must still occupy
+	// (8 per NUMBER cell, a 4-byte length per STRING cell) before any
+	// row-proportional allocation happens.
+	minPerRow := 0
+	for _, c := range cols {
+		if c.Type == DNumber {
+			minPerRow += 8
+		} else {
+			minPerRow += 4
+		}
+	}
+	if minPerRow > 0 && int(nrows) > d.remaining()/minPerRow {
+		return nil, fmt.Errorf("table: row count %d exceeds payload", nrows)
+	}
+	t := &Table{Schema: Schema{Cols: cols}, cols: make([]column, len(cols)), n: int(nrows)}
+	for j, c := range cols {
+		if c.Type == DNumber {
+			nums := make([]float64, nrows)
+			for i := range nums {
+				bits, err := d.u64()
+				if err != nil {
+					return nil, err
+				}
+				nums[i] = math.Float64frombits(bits)
+			}
+			t.cols[j].nums = nums
+			continue
+		}
+		strs := make([]string, nrows)
+		nums := make([]float64, nrows)
+		valid := make([]bool, nrows)
+		for i := range strs {
+			sl, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			s, err := d.str(sl)
+			if err != nil {
+				return nil, err
+			}
+			strs[i] = s
+			nums[i], valid[i] = parseNum(s)
+		}
+		t.cols[j].strs = strs
+		t.cols[j].nums = nums
+		t.cols[j].valid = valid
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("table: %d trailing bytes", d.remaining())
+	}
+	return t, nil
+}

@@ -5,6 +5,12 @@
 // column (the timestamp of the chunk's first frame) and, when spatial
 // splitting is used, the implicit "region" column. Privid trusts these
 // two columns (it creates them) and nothing else.
+//
+// Storage is column-major: each column is a []float64 or []string with
+// a precomputed numeric view for STRING columns, so coercion to the
+// declared schema happens exactly once, at ingest, rather than on every
+// Num() call inside aggregation loops. The Row-oriented API (Row, At,
+// Rows) materializes on demand and is unchanged for callers.
 package table
 
 import (
@@ -62,17 +68,24 @@ func (v Value) Str() string {
 	return v.s
 }
 
-// Num returns the numeric content; STRING values parse if possible and
-// otherwise yield 0 (mirroring the paper's schema coercion: untrusted
+// parseNum is the single coercion rule from STRING content to a number:
+// parse if possible, otherwise 0 (the paper's schema coercion — untrusted
 // output is forced into the declared schema).
+func parseNum(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// Num returns the numeric content; STRING values parse if possible and
+// otherwise yield 0.
 func (v Value) Num() float64 {
 	if v.typ == DNumber {
 		return v.n
 	}
-	f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
-	if err != nil {
-		return 0
-	}
+	f, _ := parseNum(v.s)
 	return f
 }
 
@@ -94,6 +107,32 @@ func (v Value) Key() string {
 		return "n:" + strconv.FormatFloat(v.n, 'g', -1, 64)
 	}
 	return "s:" + v.s
+}
+
+// KeyEqual reports whether two values have equal grouping keys, i.e.
+// v.Key() == o.Key() without formatting either. Numbers compare by
+// their canonical decimal form: NaNs are key-equal, +0 and -0 are not
+// (they format as "0" and "-0").
+func (v Value) KeyEqual(o Value) bool {
+	if v.typ != o.typ {
+		return false
+	}
+	if v.typ == DString {
+		return v.s == o.s
+	}
+	if math.IsNaN(v.n) || math.IsNaN(o.n) {
+		return math.IsNaN(v.n) && math.IsNaN(o.n)
+	}
+	return v.n == o.n && math.Signbit(v.n) == math.Signbit(o.n)
+}
+
+// KeyHash returns a 64-bit hash consistent with KeyEqual: key-equal
+// values hash identically.
+func (v Value) KeyHash() uint64 {
+	if v.typ == DNumber {
+		return hashNum(fnvOffset, v.n)
+	}
+	return hashStr(fnvOffset, v.s)
 }
 
 // String implements fmt.Stringer.
@@ -273,43 +312,291 @@ func (s Schema) Conform(raw Row) Row {
 	return out
 }
 
+// column is the column-major backing of one schema column. NUMBER
+// columns populate nums only. STRING columns hold strs plus a numeric
+// view (nums, valid) computed once at ingest, so aggregation over a
+// STRING column never re-parses.
+type column struct {
+	nums  []float64
+	strs  []string
+	valid []bool
+}
+
 // Table is an ordered collection of rows with a schema. The contents
 // are untrusted (analyst-generated); only the schema shape and the
-// implicit columns are trusted.
+// implicit columns are trusted. Storage is column-major; a frozen table
+// rejects mutation, letting caches hand out shared references.
 type Table struct {
 	Schema Schema
-	Rows   []Row
+
+	cols   []column
+	n      int
+	frozen bool
 }
 
 // New returns an empty table with the given schema.
-func New(s Schema) *Table { return &Table{Schema: s} }
+func New(s Schema) *Table {
+	return &Table{Schema: s, cols: make([]column, len(s.Cols))}
+}
 
-// Append adds rows to the table without validation. Callers that ingest
-// untrusted output must Conform rows first.
-func (t *Table) Append(rows ...Row) { t.Rows = append(t.Rows, rows...) }
+// FromRows builds a table from the schema and rows, coercing each cell
+// to the declared column type at ingest.
+func FromRows(s Schema, rows []Row) *Table {
+	t := New(s)
+	t.Append(rows...)
+	return t
+}
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.Rows) }
+func (t *Table) Len() int { return t.n }
+
+// Frozen reports whether the table is immutable.
+func (t *Table) Frozen() bool { return t.frozen }
+
+// Freeze marks the table immutable: any further mutation panics. Caches
+// freeze tables so Get can return shared references safely.
+func (t *Table) Freeze() *Table {
+	t.frozen = true
+	return t
+}
+
+func (t *Table) mutable() {
+	if t.frozen {
+		panic("table: mutation of frozen table")
+	}
+}
+
+// grow reserves capacity for m additional rows across all columns.
+func (t *Table) grow(m int) {
+	for j := range t.Schema.Cols {
+		c := &t.cols[j]
+		if t.Schema.Cols[j].Type == DNumber {
+			c.nums = growFloats(c.nums, m)
+			continue
+		}
+		c.strs = growStrings(c.strs, m)
+		c.nums = growFloats(c.nums, m)
+		c.valid = growBools(c.valid, m)
+	}
+}
+
+// growCap picks a new capacity for a column that must hold m more
+// elements: doubled so repeated single-row appends stay amortized O(1).
+func growCap(n, c, m int) int {
+	want := n + m
+	if c*2 > want {
+		want = c * 2
+	}
+	if want < 16 {
+		want = 16
+	}
+	return want
+}
+
+func growFloats(s []float64, m int) []float64 {
+	if cap(s)-len(s) >= m {
+		return s
+	}
+	out := make([]float64, len(s), growCap(len(s), cap(s), m))
+	copy(out, s)
+	return out
+}
+
+func growStrings(s []string, m int) []string {
+	if cap(s)-len(s) >= m {
+		return s
+	}
+	out := make([]string, len(s), growCap(len(s), cap(s), m))
+	copy(out, s)
+	return out
+}
+
+func growBools(s []bool, m int) []bool {
+	if cap(s)-len(s) >= m {
+		return s
+	}
+	out := make([]bool, len(s), growCap(len(s), cap(s), m))
+	copy(out, s)
+	return out
+}
+
+// Append adds rows to the table, coercing every cell to its column's
+// declared type once, at ingest. Rows must match the schema width
+// (callers that ingest untrusted output must Conform rows first).
+func (t *Table) Append(rows ...Row) {
+	t.mutable()
+	if len(rows) == 0 {
+		return
+	}
+	t.grow(len(rows))
+	for _, r := range rows {
+		if len(r) != len(t.Schema.Cols) {
+			panic(fmt.Sprintf("table: row width %d != schema width %d", len(r), len(t.Schema.Cols)))
+		}
+		for j := range t.Schema.Cols {
+			t.appendCell(j, r[j])
+		}
+	}
+	t.n += len(rows)
+}
+
+// appendCell ingests one cell into column j, coercing to the declared
+// type.
+func (t *Table) appendCell(j int, v Value) {
+	c := &t.cols[j]
+	if t.Schema.Cols[j].Type == DNumber {
+		c.nums = append(c.nums, v.Num())
+		return
+	}
+	s := v.Str()
+	f, ok := parseNum(s)
+	c.strs = append(c.strs, s)
+	c.nums = append(c.nums, f)
+	c.valid = append(c.valid, ok)
+}
+
+// AppendTable appends every row of src. Schemas must have identical
+// column types (names may differ — callers align positionally).
+func (t *Table) AppendTable(src *Table) {
+	t.AppendBlock(src)
+}
+
+// AppendBlock appends src's rows column-wise, then fills t's trailing
+// columns (beyond src's width) with the given constants, one per extra
+// column. This is the engine's stamping path: a cached chunk block in
+// the base schema lands in the full execution schema without any row
+// materialization or re-parsing, and the shared (possibly frozen) src
+// is never touched.
+func (t *Table) AppendBlock(src *Table, consts ...Value) {
+	t.mutable()
+	if len(src.Schema.Cols)+len(consts) != len(t.Schema.Cols) {
+		panic(fmt.Sprintf("table: block width %d+%d != schema width %d",
+			len(src.Schema.Cols), len(consts), len(t.Schema.Cols)))
+	}
+	m := src.n
+	if m == 0 && len(consts) == 0 {
+		return
+	}
+	t.grow(m)
+	for j := range src.Schema.Cols {
+		if src.Schema.Cols[j].Type != t.Schema.Cols[j].Type {
+			panic(fmt.Sprintf("table: column %d type mismatch (%v vs %v)",
+				j, src.Schema.Cols[j].Type, t.Schema.Cols[j].Type))
+		}
+		dst, s := &t.cols[j], &src.cols[j]
+		dst.nums = append(dst.nums, s.nums...)
+		if t.Schema.Cols[j].Type == DString {
+			dst.strs = append(dst.strs, s.strs...)
+			dst.valid = append(dst.valid, s.valid...)
+		}
+	}
+	for k, cv := range consts {
+		j := len(src.Schema.Cols) + k
+		c := &t.cols[j]
+		if t.Schema.Cols[j].Type == DNumber {
+			f := cv.Num()
+			for i := 0; i < m; i++ {
+				c.nums = append(c.nums, f)
+			}
+			continue
+		}
+		s := cv.Str()
+		f, ok := parseNum(s)
+		for i := 0; i < m; i++ {
+			c.strs = append(c.strs, s)
+			c.nums = append(c.nums, f)
+			c.valid = append(c.valid, ok)
+		}
+	}
+	t.n += m
+}
+
+// At returns the cell at row i, column j.
+func (t *Table) At(i, j int) Value {
+	if t.Schema.Cols[j].Type == DNumber {
+		return N(t.cols[j].nums[i])
+	}
+	return S(t.cols[j].strs[i])
+}
+
+// Row materializes row i.
+func (t *Table) Row(i int) Row {
+	r := make(Row, len(t.Schema.Cols))
+	for j := range t.Schema.Cols {
+		r[j] = t.At(i, j)
+	}
+	return r
+}
+
+// Rows materializes every row. Intended for tests, debugging and
+// row-oriented consumers; the relational operators work on columns.
+func (t *Table) Rows() []Row {
+	out := make([]Row, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.Row(i)
+	}
+	return out
+}
+
+// Nums returns the numeric view of column j: the stored values for a
+// NUMBER column, or the parse-once coercion of a STRING column. The
+// slice is shared with the table and must not be mutated.
+func (t *Table) Nums(j int) []float64 { return t.cols[j].nums }
+
+// Strs returns the string storage of STRING column j (nil for a NUMBER
+// column). Shared; must not be mutated.
+func (t *Table) Strs(j int) []string { return t.cols[j].strs }
+
+// Valid reports, for STRING column j, which cells parsed as numbers
+// (nil for a NUMBER column). Shared; must not be mutated.
+func (t *Table) Valid(j int) []bool { return t.cols[j].valid }
+
+// Gather returns a new table holding the rows selected by sel, in sel
+// order. Output columns are preallocated to len(sel).
+func (t *Table) Gather(sel []int) *Table {
+	out := New(t.Schema)
+	out.n = len(sel)
+	for j := range t.Schema.Cols {
+		src, dst := &t.cols[j], &out.cols[j]
+		dst.nums = make([]float64, len(sel))
+		for k, i := range sel {
+			dst.nums[k] = src.nums[i]
+		}
+		if t.Schema.Cols[j].Type == DString {
+			dst.strs = make([]string, len(sel))
+			dst.valid = make([]bool, len(sel))
+			for k, i := range sel {
+				dst.strs[k] = src.strs[i]
+				dst.valid[k] = src.valid[i]
+			}
+		}
+	}
+	return out
+}
 
 // Col returns the values of the named column, or an error if absent.
 func (t *Table) Col(name string) ([]Value, error) {
-	i := t.Schema.Index(name)
-	if i < 0 {
+	j := t.Schema.Index(name)
+	if j < 0 {
 		return nil, fmt.Errorf("table: no column %q", name)
 	}
-	out := make([]Value, len(t.Rows))
-	for j, r := range t.Rows {
-		out[j] = r[i]
+	out := make([]Value, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.At(i, j)
 	}
 	return out, nil
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns a deep, mutable copy of the table.
 func (t *Table) Clone() *Table {
 	out := New(t.Schema)
-	out.Rows = make([]Row, len(t.Rows))
-	for i, r := range t.Rows {
-		out.Rows[i] = r.Clone()
+	out.n = t.n
+	for j := range t.cols {
+		out.cols[j].nums = append([]float64(nil), t.cols[j].nums...)
+		if t.Schema.Cols[j].Type == DString {
+			out.cols[j].strs = append([]string(nil), t.cols[j].strs...)
+			out.cols[j].valid = append([]bool(nil), t.cols[j].valid...)
+		}
 	}
 	return out
 }
@@ -318,18 +605,41 @@ func (t *Table) Clone() *Table {
 // for NUMBER columns, lexicographic for STRING). Used by deterministic
 // tests and output printers; relational semantics never depend on order.
 func (t *Table) SortBy(name string) error {
-	i := t.Schema.Index(name)
-	if i < 0 {
+	t.mutable()
+	j := t.Schema.Index(name)
+	if j < 0 {
 		return fmt.Errorf("table: no column %q", name)
 	}
-	numeric := t.Schema.Cols[i].Type == DNumber
-	sort.SliceStable(t.Rows, func(a, b int) bool {
-		if numeric {
-			return t.Rows[a][i].Num() < t.Rows[b][i].Num()
-		}
-		return t.Rows[a][i].Str() < t.Rows[b][i].Str()
-	})
+	perm := make([]int, t.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if t.Schema.Cols[j].Type == DNumber {
+		nums := t.cols[j].nums
+		sort.SliceStable(perm, func(a, b int) bool { return nums[perm[a]] < nums[perm[b]] })
+	} else {
+		strs := t.cols[j].strs
+		sort.SliceStable(perm, func(a, b int) bool { return strs[perm[a]] < strs[perm[b]] })
+	}
+	sorted := t.Gather(perm)
+	t.cols = sorted.cols
 	return nil
+}
+
+// MemBytes approximates the table's resident size: column storage plus
+// string content. Used for cache accounting.
+func (t *Table) MemBytes() int64 {
+	var b int64
+	for j := range t.cols {
+		c := &t.cols[j]
+		b += int64(len(c.nums)) * 8
+		b += int64(len(c.valid))
+		b += int64(len(c.strs)) * 16
+		for _, s := range c.strs {
+			b += int64(len(s))
+		}
+	}
+	return b
 }
 
 // String renders a compact textual form for debugging.
@@ -337,12 +647,17 @@ func (t *Table) String() string {
 	var b strings.Builder
 	b.WriteString(strings.Join(t.Schema.Names(), "|"))
 	b.WriteString("\n")
-	for _, r := range t.Rows {
-		parts := make([]string, len(r))
-		for i, v := range r {
-			parts[i] = v.Str()
+	for i := 0; i < t.n; i++ {
+		for j := range t.Schema.Cols {
+			if j > 0 {
+				b.WriteString("|")
+			}
+			if t.Schema.Cols[j].Type == DNumber {
+				b.WriteString(strconv.FormatFloat(t.cols[j].nums[i], 'g', -1, 64))
+			} else {
+				b.WriteString(t.cols[j].strs[i])
+			}
 		}
-		b.WriteString(strings.Join(parts, "|"))
 		b.WriteString("\n")
 	}
 	return b.String()

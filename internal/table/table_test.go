@@ -1,6 +1,7 @@
 package table
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -148,13 +149,13 @@ func TestTableColAndSort(t *testing.T) {
 	if err := tb.SortBy("n"); err != nil {
 		t.Fatal(err)
 	}
-	if tb.Rows[0][0].Num() != 1 || tb.Rows[2][0].Num() != 3 {
-		t.Errorf("numeric sort wrong: %v", tb.Rows)
+	if tb.At(0, 0).Num() != 1 || tb.At(2, 0).Num() != 3 {
+		t.Errorf("numeric sort wrong: %v", tb.Rows())
 	}
 	if err := tb.SortBy("s"); err != nil {
 		t.Fatal(err)
 	}
-	if tb.Rows[0][1].Str() != "a" {
+	if tb.At(0, 1).Str() != "a" {
 		t.Errorf("string sort wrong")
 	}
 }
@@ -164,10 +165,184 @@ func TestTableClone(t *testing.T) {
 	tb := New(s)
 	tb.Append(Row{N(1)})
 	c := tb.Clone()
-	c.Rows[0][0] = N(99)
 	c.Append(Row{N(2)})
-	if tb.Rows[0][0].Num() != 1 || tb.Len() != 1 {
+	if err := c.SortBy("n"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.At(0, 0).Num() != 1 || tb.Len() != 1 {
 		t.Errorf("clone not deep")
+	}
+}
+
+func TestIngestCoercion(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "n", Type: DNumber},
+		Column{Name: "s", Type: DString},
+	)
+	tb := New(s)
+	// Cells are coerced to the declared column type once, at ingest.
+	tb.Append(Row{S("42.5"), N(7)}, Row{S("junk"), S("x")})
+	if v := tb.At(0, 0); v.Type() != DNumber || v.Num() != 42.5 {
+		t.Errorf("string->number ingest: %v", v)
+	}
+	if v := tb.At(1, 0); v.Num() != 0 {
+		t.Errorf("unparseable string must coerce to 0: %v", v)
+	}
+	if v := tb.At(0, 1); v.Type() != DString || v.Str() != "7" {
+		t.Errorf("number->string ingest: %v", v)
+	}
+	// The numeric view of a STRING column is the parse-once coercion.
+	tb2 := New(MustSchema(Column{Name: "s", Type: DString}))
+	tb2.Append(Row{S(" 7 ")}, Row{S("bad")}, Row{S("2.5")})
+	nums, valid := tb2.Nums(0), tb2.Valid(0)
+	if nums[0] != 7 || nums[1] != 0 || nums[2] != 2.5 {
+		t.Errorf("numeric view: %v", nums)
+	}
+	if !valid[0] || valid[1] || !valid[2] {
+		t.Errorf("validity view: %v", valid)
+	}
+}
+
+func TestRowsMaterialization(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "n", Type: DNumber},
+		Column{Name: "s", Type: DString},
+	)
+	tb := FromRows(s, []Row{{N(1), S("a")}, {N(2), S("b")}})
+	rows := tb.Rows()
+	if len(rows) != 2 || !rows[1][0].Equal(N(2)) || !rows[1][1].Equal(S("b")) {
+		t.Errorf("rows: %v", rows)
+	}
+	if r := tb.Row(0); !r[0].Equal(N(1)) || !r[1].Equal(S("a")) {
+		t.Errorf("row 0: %v", r)
+	}
+}
+
+func TestFreezePanicsOnMutation(t *testing.T) {
+	tb := FromRows(MustSchema(Column{Name: "n", Type: DNumber}), []Row{{N(1)}})
+	tb.Freeze()
+	if !tb.Frozen() {
+		t.Fatal("not frozen")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Append on frozen table must panic")
+		}
+	}()
+	tb.Append(Row{N(2)})
+}
+
+func TestGather(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "n", Type: DNumber},
+		Column{Name: "s", Type: DString},
+	)
+	tb := FromRows(s, []Row{{N(1), S("a")}, {N(2), S("b")}, {N(3), S("c")}})
+	g := tb.Gather([]int{2, 0})
+	if g.Len() != 2 || g.At(0, 0).Num() != 3 || g.At(1, 1).Str() != "a" {
+		t.Errorf("gather: %v", g.String())
+	}
+	if e := tb.Gather(nil); e.Len() != 0 {
+		t.Errorf("empty gather: %d", e.Len())
+	}
+}
+
+func TestAppendBlock(t *testing.T) {
+	base := MustSchema(Column{Name: "n", Type: DNumber}, Column{Name: "s", Type: DString})
+	full := base.WithImplicitCols(true, false)
+	blk := FromRows(base, []Row{{N(1), S("a")}, {N(2), S("b")}}).Freeze()
+	out := New(full)
+	out.AppendBlock(blk, N(100), S("r0"))
+	out.AppendBlock(blk, N(200), S("r1"))
+	if out.Len() != 4 {
+		t.Fatalf("len=%d", out.Len())
+	}
+	if out.At(1, 2).Num() != 100 || out.At(3, 2).Num() != 200 {
+		t.Errorf("chunk consts wrong: %s", out.String())
+	}
+	if out.At(0, 3).Str() != "r0" || out.At(2, 3).Str() != "r1" {
+		t.Errorf("region consts wrong: %s", out.String())
+	}
+	if out.At(2, 0).Num() != 1 || out.At(3, 1).Str() != "b" {
+		t.Errorf("block copy wrong: %s", out.String())
+	}
+}
+
+func TestKeyHashMatchesKeyEquality(t *testing.T) {
+	vals := []Value{
+		N(0), N(math.Copysign(0, -1)), N(1), N(-1), N(math.NaN()),
+		N(math.Inf(1)), S("0"), S(""), S("a"), S("NaN"), N(42), S("42"),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			wantEq := a.Key() == b.Key()
+			if got := a.KeyEqual(b); got != wantEq {
+				t.Errorf("KeyEqual(%v,%v)=%v want %v", a, b, got, wantEq)
+			}
+			if wantEq && a.KeyHash() != b.KeyHash() {
+				t.Errorf("key-equal values %v,%v hash differently", a, b)
+			}
+		}
+	}
+	// NaNs are key-equal ("NaN"=="NaN"); +0 and -0 are not ("0"!="-0").
+	if !N(math.NaN()).KeyEqual(N(math.NaN())) {
+		t.Errorf("NaN keys must be equal")
+	}
+	if N(0).KeyEqual(N(math.Copysign(0, -1))) {
+		t.Errorf("+0 and -0 keys must differ")
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "n", Type: DNumber, Default: N(-1)},
+		Column{Name: "s", Type: DString, Default: S("d")},
+	)
+	tb := FromRows(s, []Row{
+		{N(1.5), S("a|b")},
+		{N(math.Inf(-1)), S("")},
+		{N(0), S(" 7 ")},
+	})
+	got, err := DecodeBinary(tb.EncodeBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != tb.String() {
+		t.Errorf("round trip:\n%s\nvs\n%s", got.String(), tb.String())
+	}
+	// Parse-once view survives the trip.
+	if got.Nums(1)[2] != 7 || !got.Valid(1)[2] {
+		t.Errorf("numeric view not rebuilt: %v %v", got.Nums(1), got.Valid(1))
+	}
+	if got.Schema.Cols[1].Default.Str() != "d" {
+		t.Errorf("default lost: %v", got.Schema.Cols[1].Default)
+	}
+	// Empty table round-trips too.
+	empty := New(s)
+	if got2, err := DecodeBinary(empty.EncodeBinary()); err != nil || got2.Len() != 0 {
+		t.Errorf("empty round trip: %v %v", got2, err)
+	}
+}
+
+func TestBinaryCodecRejectsMalformed(t *testing.T) {
+	tb := FromRows(MustSchema(Column{Name: "n", Type: DNumber}), []Row{{N(1)}})
+	enc := tb.EncodeBinary()
+	for _, raw := range [][]byte{
+		nil,
+		{},
+		{99},                                   // bad version
+		enc[:len(enc)-3],                       // truncated payload
+		append(append([]byte{}, enc...), 0xff), // trailing bytes
+	} {
+		if _, err := DecodeBinary(raw); err == nil {
+			t.Errorf("malformed input %v accepted", raw)
+		}
+	}
+	// Absurd row count bounded by payload length, not trusted.
+	huge := append([]byte{codecVersion}, 1, 0, byte(DNumber), 1, 0, 'x', byte(DNumber), 0, 0, 0, 0, 0, 0, 0, 0)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff) // nrows = 4B
+	if _, err := DecodeBinary(huge); err == nil {
+		t.Errorf("oversized row count accepted")
 	}
 }
 
