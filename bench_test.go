@@ -10,6 +10,7 @@ package privid_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -215,6 +216,60 @@ func BenchmarkChunkCache_Cold(b *testing.B) { runCacheBench(b, false) }
 // BenchmarkChunkCache_Warm repeats the identical window against a
 // populated cache: zero sandbox executions per query.
 func BenchmarkChunkCache_Warm(b *testing.B) { runCacheBench(b, true) }
+
+// BenchmarkSingleflight_ColdFanout measures the dedup layer the cache
+// alone cannot provide: 8 identical queries racing against a cold
+// cache. Without singleflight every query would pay the sandbox for
+// every chunk (480 executions per op here); with it the first lookup
+// of each chunk leads one execution and everyone else is a cache hit
+// or a follower sharing the leader's frozen block. "sandbox-execs/op"
+// is therefore exactly the chunk count (60), and "dedup-ratio" is
+// lookups/executions (8.0 = the fan-out width). Both are
+// deterministic, so the CI contract pins them (BENCH_8.json).
+func BenchmarkSingleflight_ColdFanout(b *testing.B) {
+	const fanout = 8
+	src := privid.NewSceneCamera("campus", privid.CampusProfile(), 1, 10*time.Minute)
+	prog, err := privid.Parse(cacheBenchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var totalExecs int64
+	var totalLookups uint64
+	for i := 0; i < b.N; i++ {
+		// A fresh engine per op: the point is the cold-path race, and a
+		// warm cache would absorb it.
+		b.StopTimer()
+		var execs atomic.Int64
+		engine := newCacheBenchEngine(b, src, privid.Options{}, &execs)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make([]error, fanout)
+		for w := 0; w < fanout; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				_, errs[w] = engine.Execute(prog)
+			}(w)
+		}
+		b.StartTimer()
+		close(start)
+		wg.Wait()
+		b.StopTimer()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		fs := engine.FlightStats()
+		totalExecs += execs.Load()
+		totalLookups += engine.CacheStats().Hits + fs.Followers + fs.Leaders
+		b.StartTimer()
+	}
+	execsPerOp := float64(totalExecs) / float64(b.N)
+	b.ReportMetric(execsPerOp, "sandbox-execs/op")
+	b.ReportMetric(float64(totalLookups)/float64(totalExecs), "dedup-ratio")
+}
 
 // BenchmarkChunkCache_DiskWarm measures the tier-2 path in isolation:
 // the RAM tier is disabled (ChunkCacheBytes < 0) so every repeated

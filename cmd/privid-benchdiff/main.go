@@ -31,6 +31,10 @@ type measurement struct {
 	allocsPerOp float64
 	hasAllocs   bool
 	samples     int
+	// metrics holds custom b.ReportMetric values keyed by their unit
+	// string (e.g. "sandbox-execs/op", "dedup-ratio"), min over
+	// repeats.
+	metrics map[string]float64
 }
 
 // check is one entry of ci_contract.checks.
@@ -44,13 +48,21 @@ type check struct {
 	//                   fail if below the floor;
 	//   "max_allocs"  — allocs/op of Benchmark, fail if above
 	//                   recorded*(1+tolerance) (allocations are
-	//                   deterministic, so this is machine-independent).
+	//                   deterministic, so this is machine-independent);
+	//   "max_metric"  — a custom b.ReportMetric value of Benchmark
+	//                   (named by Metric, e.g. "sandbox-execs/op"),
+	//                   fail if above recorded*(1+tolerance). Use it
+	//                   for deterministic work counters: the
+	//                   singleflight contract pins sandbox executions
+	//                   per fan-out op this way.
 	Kind string `json:"kind"`
 	// Num and Den name the benchmarks of a ratio check; Benchmark
-	// names the single benchmark of a max_allocs check.
+	// names the single benchmark of a max_allocs or max_metric check.
 	Num       string `json:"num,omitempty"`
 	Den       string `json:"den,omitempty"`
 	Benchmark string `json:"benchmark,omitempty"`
+	// Metric is the custom metric's unit string for max_metric checks.
+	Metric string `json:"metric,omitempty"`
 	// Recorded is the value measured when the snapshot was taken.
 	Recorded float64 `json:"recorded"`
 	// Tolerance overrides the contract-wide tolerance (fraction, e.g.
@@ -187,6 +199,18 @@ func evaluate(c check, tol float64, results map[string]*measurement) (bool, stri
 		limit := c.Recorded * (1 + tol)
 		detail := fmt.Sprintf("%.0f allocs/op (recorded %.0f, limit %.0f)", m.allocsPerOp, c.Recorded, limit)
 		return m.allocsPerOp <= limit, detail, nil
+	case "max_metric":
+		m, err := get(c.Benchmark)
+		if err != nil {
+			return false, "", err
+		}
+		v, ok := m.metrics[c.Metric]
+		if !ok {
+			return false, "", fmt.Errorf("%s did not report metric %q", c.Benchmark, c.Metric)
+		}
+		limit := c.Recorded * (1 + tol)
+		detail := fmt.Sprintf("%.2f %s (recorded %.2f, limit %.2f)", v, c.Metric, c.Recorded, limit)
+		return v <= limit, detail, nil
 	default:
 		return false, "", fmt.Errorf("unknown check kind %q", c.Kind)
 	}
@@ -212,16 +236,30 @@ func parseBench(f *os.File) (map[string]*measurement, error) {
 		}
 		var ns, allocs float64
 		hasNs, hasAllocs := false, false
+		var metrics map[string]float64
 		for i := 2; i+1 < len(fields); i++ {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			unit := fields[i+1]
+			switch unit {
 			case "ns/op":
 				ns, hasNs = v, true
 			case "allocs/op":
 				allocs, hasAllocs = v, true
+			case "B/op", "MB/s":
+				// standard units we don't track
+			default:
+				// A non-numeric token after a value is a custom
+				// b.ReportMetric unit (e.g. "sandbox-execs/op").
+				if _, err := strconv.ParseFloat(unit, 64); err == nil {
+					continue
+				}
+				if metrics == nil {
+					metrics = map[string]float64{}
+				}
+				metrics[unit] = v
 			}
 		}
 		if !hasNs {
@@ -229,7 +267,7 @@ func parseBench(f *os.File) (map[string]*measurement, error) {
 		}
 		m, ok := out[name]
 		if !ok {
-			m = &measurement{nsPerOp: ns, allocsPerOp: allocs, hasAllocs: hasAllocs}
+			m = &measurement{nsPerOp: ns, allocsPerOp: allocs, hasAllocs: hasAllocs, metrics: metrics}
 			out[name] = m
 		} else {
 			if ns < m.nsPerOp {
@@ -238,6 +276,14 @@ func parseBench(f *os.File) (map[string]*measurement, error) {
 			if hasAllocs && (!m.hasAllocs || allocs < m.allocsPerOp) {
 				m.allocsPerOp = allocs
 				m.hasAllocs = true
+			}
+			for unit, v := range metrics {
+				if m.metrics == nil {
+					m.metrics = map[string]float64{}
+				}
+				if prev, ok := m.metrics[unit]; !ok || v < prev {
+					m.metrics[unit] = v
+				}
 			}
 		}
 		m.samples++

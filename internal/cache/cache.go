@@ -46,7 +46,10 @@ type Stats struct {
 	// Hits and Misses count Get outcomes since construction. For a
 	// tiered cache a Get that is served by either tier counts as a hit.
 	Hits, Misses uint64
-	// Puts counts stored entries (including overwrites).
+	// Puts counts stored entries (including overwrites). Disk→RAM
+	// promotions are deliberately excluded — they are tier migrations,
+	// counted in Promotions — so Puts reflects real write-through
+	// traffic.
 	Puts uint64
 	// Evictions counts entries dropped to stay under the byte bound.
 	Evictions uint64
@@ -88,6 +91,12 @@ func (s Stats) HitRate() float64 {
 // are frozen and shared; callers must not mutate them.
 type Cache interface {
 	Get(key string) (*table.Table, bool)
+	// Peek is Get without side effects: no hit/miss accounting, no
+	// recency update, no tier promotion. The engine's singleflight
+	// leader uses it to re-check for a result published while it was
+	// queueing — an internal consistency check that must not distort
+	// the analyst-visible hit rate.
+	Peek(key string) (*table.Table, bool)
 	Put(key string, t *table.Table)
 	Stats() Stats
 	// Close releases any resources (disk tiers sync and unmap). The
@@ -145,11 +154,32 @@ func (c *LRU) Get(key string) (*table.Table, bool) {
 	return el.Value.(*lruEntry).tbl, true
 }
 
+// Peek returns the stored table without counting a hit or miss and
+// without touching the entry's recency.
+func (c *LRU) Peek(key string) (*table.Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).tbl, true
+}
+
 // Put freezes t and stores it under key, evicting least-recently-used
 // entries as needed to respect the byte bound. The caller must not
 // mutate t after Put (Freeze makes any attempt panic). An entry larger
 // than the whole bound is not stored.
-func (c *LRU) Put(key string, t *table.Table) {
+func (c *LRU) Put(key string, t *table.Table) { c.put(key, t, true) }
+
+// promote stores t like Put but without counting it in Puts: a
+// disk→RAM promotion is a tier migration of an entry that was already
+// written through, not new write traffic, and conflating the two hides
+// the real write-through rate from operators (the composite cache
+// counts promotions separately in Stats.Promotions).
+func (c *LRU) promote(key string, t *table.Table) { c.put(key, t, false) }
+
+func (c *LRU) put(key string, t *table.Table, countPut bool) {
 	t.Freeze()
 	cost := tableCost(key, t)
 	c.mu.Lock()
@@ -158,7 +188,9 @@ func (c *LRU) Put(key string, t *table.Table) {
 		// Too large to ever fit; admitting it would flush everything.
 		return
 	}
-	c.puts++
+	if countPut {
+		c.puts++
+	}
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*lruEntry)
 		c.bytes += cost - ent.cost

@@ -299,6 +299,27 @@ func (d *Disk) Get(key string) (*table.Table, bool) {
 	return t.Freeze(), true
 }
 
+// Peek returns the stored table without touching the hit/miss
+// counters. Unlike Get it leaves a corrupt frame in the index (the
+// next Get will collect it).
+func (d *Disk) Peek(key string) (*table.Table, bool) {
+	d.mu.Lock()
+	e, ok := d.index[key]
+	var payload []byte
+	if ok {
+		payload, ok = d.readFrame(e)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	t, err := table.DecodeBinary(payload)
+	if err != nil {
+		return nil, false
+	}
+	return t.Freeze(), true
+}
+
 // Put appends the table under key. Oversized entries and encode-free
 // zero-bound stores are dropped silently; a failed write leaves the
 // previous value (if any) intact.

@@ -246,6 +246,47 @@ func TestTieredPromotion(t *testing.T) {
 	}
 }
 
+// TestTieredPromotionDoesNotInflatePuts: a disk→RAM promotion must be
+// counted only by Promotions — never by the tier-1 Puts counter (and
+// therefore never by privid_chunk_cache_puts_total) — so operators can
+// tell real write-through traffic from tier migrations.
+func TestTieredPromotionDoesNotInflatePuts(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := New(1 << 20)
+	c := NewTiered(mem, disk)
+	defer c.Close()
+
+	c.Put("k", mixedTbl(3))
+	if st := c.Stats(); st.Puts != 1 || st.DiskPuts != 1 {
+		t.Fatalf("after write-through: Puts=%d DiskPuts=%d, want 1/1", st.Puts, st.DiskPuts)
+	}
+	// Drop the RAM copy, keep disk, then promote it back via Get.
+	mem.mu.Lock()
+	mem.ll.Init()
+	clear(mem.items)
+	mem.bytes = 0
+	mem.mu.Unlock()
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("disk tier lost the entry")
+	}
+	st := c.Stats()
+	if st.Promotions != 1 {
+		t.Fatalf("Promotions = %d, want 1", st.Promotions)
+	}
+	if st.Puts != 1 {
+		t.Fatalf("Puts = %d after a promotion, want 1 (promotions must not inflate puts)", st.Puts)
+	}
+	// The promoted entry really is resident in RAM (same accounting
+	// rules: it occupies bytes and serves hits).
+	if mem.Len() != 1 {
+		t.Fatalf("RAM tier holds %d entries after promotion, want 1", mem.Len())
+	}
+}
+
 func TestTieredWriteThroughSurvivesRestart(t *testing.T) {
 	dir := t.TempDir()
 	disk, err := OpenDisk(dir, 1<<20)

@@ -41,10 +41,27 @@ func (t *Tiered) Get(key string) (*table.Table, bool) {
 		return nil, false
 	}
 	if t.mem != nil {
-		t.mem.Put(key, tbl)
+		// Internal promote path: the entry migrates to the fast tier
+		// without inflating the RAM tier's Puts counter, so operators
+		// can tell real write-through traffic from promotions.
+		t.mem.promote(key, tbl)
 		t.promotions.Add(1)
 	}
 	return tbl, true
+}
+
+// Peek checks RAM then disk without counting hits or misses and
+// without promoting a disk hit.
+func (t *Tiered) Peek(key string) (*table.Table, bool) {
+	if t.mem != nil {
+		if tbl, ok := t.mem.Peek(key); ok {
+			return tbl, true
+		}
+	}
+	if t.disk == nil {
+		return nil, false
+	}
+	return t.disk.Peek(key)
 }
 
 // Put stores the (frozen) table in both tiers.
@@ -69,7 +86,10 @@ func (t *Tiered) Close() error {
 // Stats merges both tiers: RAM counters in the classic fields, disk
 // counters in the Disk* fields. Hits/Misses reflect the composite view
 // (a Get served by either tier is one hit; a miss in both is one
-// miss), which keeps HitRate meaningful for the whole cache.
+// miss), which keeps HitRate meaningful for the whole cache. Puts
+// counts write-through stores only; disk→RAM promotions appear solely
+// in Promotions (the RAM tier's internal promote path skips its Puts
+// counter).
 func (t *Tiered) Stats() Stats {
 	var s Stats
 	if t.mem != nil {

@@ -490,3 +490,93 @@ func seedEngine(t *testing.T, e *Engine, s *scene.Scene, pol policy.Policy, eps 
 		t.Fatal(err)
 	}
 }
+
+// TestHungExecutableWithoutTimeoutReleasesSlot is the regression test
+// for the unarmed grace backstop: the slot-forfeit timer was only
+// armed when the statement carried TIMEOUT > 0, so a programmatically
+// built Program with no timeout whose executable hung would block
+// RunChecked forever and leak its Parallelism slot permanently —
+// with Parallelism=1, wedging every later query on the engine. The
+// engine now substitutes Options.DefaultProcessTimeout, so the first
+// query falls back to default rows and the slot is reclaimed after
+// the grace period.
+func TestHungExecutableWithoutTimeoutReleasesSlot(t *testing.T) {
+	s := countScene(5)
+	e := New(Options{
+		Seed:        1,
+		Parallelism: 1, // one slot: a leak would wedge the engine
+		// Small default so the test completes quickly; the point is
+		// that it applies at all when TIMEOUT is absent.
+		DefaultProcessTimeout: 50 * time.Millisecond,
+		ChunkCacheBytes:       -1, // exercise the raw execution path
+	})
+	if err := e.RegisterCamera(CameraConfig{
+		Name:    "camA",
+		Source:  &video.SceneSource{Camera: "camA", Scene: s},
+		Policy:  policy.Policy{Rho: 25 * time.Second, K: 1},
+		Epsilon: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Registry().Register("counter", countNewEntrants); err != nil {
+		t.Fatal(err)
+	}
+	// An executable that never returns (the test intentionally leaks
+	// its goroutine — that bounded leak instead of a wedged engine is
+	// exactly the behavior under test).
+	if err := e.Registry().Register("hang", func(chunk *video.Chunk) []table.Row {
+		select {}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const oneChunk = `
+SPLIT camA BEGIN 03-15-2021/6:00am END 03-15-2021/6:01am
+  BY TIME 60sec STRIDE 0sec INTO chunks;
+PROCESS chunks USING hang TIMEOUT 5sec PRODUCING 2 ROWS
+  WITH SCHEMA (one:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.2;`
+	prog, err := query.Parse(oneChunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parser rejects TIMEOUT <= 0, so reproduce the library-caller
+	// scenario: a parsed program whose timeout is then cleared.
+	prog.Processes[0].Timeout = 0
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Execute(prog)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		// The hung chunk must degrade to the sandbox's fallback rows,
+		// not an error.
+		if err != nil {
+			t.Fatalf("query over hung executable failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("query over hung TIMEOUT-less executable never returned (slot wedged)")
+	}
+
+	// The grace backstop (slotGraceMultiple × the default timeout)
+	// must reclaim the hung execution's slot: a normal query on the
+	// same single-slot engine completes.
+	prog2, err := query.Parse(concurrentQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, err := e.Execute(prog2)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("follow-up query failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follow-up query never got the parallelism slot back")
+	}
+}

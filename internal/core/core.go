@@ -86,6 +86,16 @@ type Options struct {
 	// as the benchmark baseline (BenchmarkMultiCamera_Serial) and as a
 	// debugging escape hatch; leave it false in deployments.
 	SerialShards bool
+	// DefaultProcessTimeout is the effective per-chunk TIMEOUT applied
+	// when a PROCESS statement carries none. The parser rejects
+	// TIMEOUT <= 0, so this only matters for programmatically built
+	// query.Programs — but for those, a zero timeout would let a hung
+	// ProcessFunc block its sandbox goroutine forever and permanently
+	// leak a Parallelism slot (the grace backstop scales off the
+	// timeout, so it could never arm). <= 0 (the default) uses
+	// defaultProcessTimeout. The statement's own TIMEOUT, when
+	// positive, always wins.
+	DefaultProcessTimeout time.Duration
 	// ChunkCacheBytes bounds the in-memory cache of per-chunk PROCESS
 	// results (approximate bytes). 0 (the default) uses
 	// DefaultChunkCacheBytes; a negative value disables caching
@@ -146,6 +156,12 @@ const DefaultChunkCacheBytes = 64 << 20
 // Options.DiskCacheDir is set and Options.DiskCacheBytes is 0.
 const DefaultDiskCacheBytes = 256 << 20
 
+// defaultProcessTimeout is the effective chunk timeout used when both
+// the PROCESS statement and Options.DefaultProcessTimeout leave it
+// unset. Generous — it exists to bound hung executables, not to police
+// slow ones.
+const defaultProcessTimeout = 30 * time.Second
+
 // Engine is a Privid deployment: a set of cameras and a registry of
 // analyst executables. Engines are safe for concurrent query
 // execution; budget admission is serialized.
@@ -153,6 +169,11 @@ type Engine struct {
 	opts       Options
 	registry   *sandbox.Registry
 	chunkCache cache.Cache // nil when caching is disabled
+	// flight coalesces concurrent cache misses on the same chunk key
+	// onto one sandbox execution. nil exactly when chunkCache is nil:
+	// flights are keyed by the cache's content-identity chunk key, so
+	// without a cache there is nothing sound to coalesce on.
+	flight *cache.Flight
 	// procSem bounds concurrent sandbox executions engine-wide (size
 	// Options.Parallelism). Cache hits bypass it.
 	procSem chan struct{}
@@ -215,6 +236,9 @@ func Open(opts Options) (*Engine, error) {
 	if opts.DiskCacheDir != "" && opts.DiskCacheBytes == 0 {
 		opts.DiskCacheBytes = DefaultDiskCacheBytes
 	}
+	if opts.DefaultProcessTimeout <= 0 {
+		opts.DefaultProcessTimeout = defaultProcessTimeout
+	}
 	// Assemble the chunk cache tiers. The interface field stays a true
 	// nil when no tier is configured (never a typed nil), so the
 	// hot-path nil checks in runShard remain valid.
@@ -271,6 +295,7 @@ func Open(opts Options) (*Engine, error) {
 		opts:       opts,
 		registry:   sandbox.NewRegistry(),
 		chunkCache: cc,
+		flight:     newFlightFor(cc),
 		procSem:    make(chan struct{}, opts.Parallelism),
 		store:      st,
 		wal:        wal,
@@ -397,6 +422,15 @@ func (e *Engine) StateInfo() StateInfo {
 	}
 }
 
+// newFlightFor returns a Flight when chunk caching is on, nil
+// otherwise.
+func newFlightFor(cc cache.Cache) *cache.Flight {
+	if cc == nil {
+		return nil
+	}
+	return cache.NewFlight()
+}
+
 // CacheStats returns a snapshot of the chunk-result cache counters
 // (zero-valued when caching is disabled).
 func (e *Engine) CacheStats() cache.Stats {
@@ -404,6 +438,15 @@ func (e *Engine) CacheStats() cache.Stats {
 		return cache.Stats{}
 	}
 	return e.chunkCache.Stats()
+}
+
+// FlightStats returns a snapshot of the chunk singleflight counters
+// (zero-valued when caching — and with it coalescing — is disabled).
+func (e *Engine) FlightStats() cache.FlightStats {
+	if e.flight == nil {
+		return cache.FlightStats{}
+	}
+	return e.flight.Stats()
 }
 
 // CameraInfo is the owner-visible description of one registered camera,

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"privid/internal/cache"
 	"privid/internal/dp"
 	"privid/internal/obs"
 	"privid/internal/policy"
@@ -84,6 +85,14 @@ type Result struct {
 // merely overrunning keeps the engine-wide bound exact; short enough
 // that a truly hung executable cannot wedge the engine.
 const slotGraceMultiple = 4
+
+// flightWaitMultiple scales the effective TIMEOUT into the longest a
+// singleflight follower waits for its leader before giving up and
+// executing on its own. A clean leader returns within one timeout;
+// each handoff after a failed leader costs up to another. Four covers
+// a leader plus a few handoffs, after which waiting longer is worse
+// than paying the duplicate execution.
+const flightWaitMultiple = 4
 
 // splitShard is one camera's slice of a resolved chunk set: the
 // concrete chunking plan for that camera (one video.Split per region;
@@ -619,9 +628,19 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, sp *obs.Span
 	if err != nil {
 		return nil, fmt.Errorf("core: PROCESS schema: %w", err)
 	}
+	// The executor always runs with a positive timeout. The parser
+	// guarantees st.Timeout > 0 for parsed programs; programmatically
+	// built Programs may leave it zero, which without the default would
+	// make RunChecked block forever on a hung ProcessFunc — and, since
+	// the slot-grace backstop scales off the timeout, leak that
+	// execution's Parallelism slot permanently.
+	effTimeout := st.Timeout
+	if effTimeout <= 0 {
+		effTimeout = e.opts.DefaultProcessTimeout
+	}
 	exec := sandbox.Executor{
 		Fn:      fn,
-		Timeout: st.Timeout,
+		Timeout: effTimeout,
 		MaxRows: st.MaxRows,
 		Schema:  schema,
 	}
@@ -710,6 +729,7 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 	// workers run concurrently) and land on the span once per shard,
 	// keeping the span's mutex off the per-chunk hot path.
 	var hits, misses, sandboxNanos atomic.Int64
+	var sfFollowers, sfHandoffs, sfAbandoned atomic.Int64
 	ssp := psp.Child("shard")
 	defer ssp.End()
 	if ssp != nil {
@@ -733,66 +753,98 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 				split.Region, st.Using, st.Timeout, st.MaxRows, schema,
 				sh.chunkF, sh.strideF)
 		}
+		// execChunk is one raw sandbox execution: acquire a slot, run
+		// the executable, return the chunk's block in the declared
+		// schema and whether it completed cleanly.
+		execChunk := func(chunk *video.Chunk) (*table.Table, bool) {
+			// The engine-wide semaphore keeps the total number of
+			// in-flight sandbox executions — across every query
+			// running concurrently — at Parallelism, so serving
+			// many analysts cannot oversubscribe the CPU and push
+			// executables past their wall-clock TIMEOUT.
+			//
+			// The slot is released when the executable goroutine
+			// exits (on a timeout that is later than RunChecked's
+			// return, so a slow executable cannot be double-booked)
+			// — except that a hung executable forfeits its slot
+			// after a grace period, so one non-terminating
+			// ProcessFunc degrades to a bounded CPU leak instead of
+			// permanently wedging every analyst's queries.
+			e.procSem <- struct{}{}
+			var once sync.Once
+			var released atomic.Bool
+			release := func() {
+				once.Do(func() {
+					released.Store(true)
+					<-e.procSem
+				})
+			}
+			runExec := exec
+			runExec.Done = release
+			execStart := time.Now()
+			rows, clean := runExec.RunChecked(chunk)
+			execDur := time.Since(execStart)
+			e.met.sandbox(execDur, clean)
+			sandboxNanos.Add(int64(execDur))
+			// Arm the grace backstop only when the slot is still
+			// held — a panic's goroutine has already exited and
+			// released, so it needs no timer. (A release racing
+			// this check just leaves one harmless no-op timer.)
+			// exec.Timeout is always positive (runProcess substitutes
+			// the default for TIMEOUT-less programmatic statements), so
+			// the backstop can always arm.
+			if !clean && !released.Load() {
+				time.AfterFunc(slotGraceMultiple*exec.Timeout, release)
+			}
+			return table.FromRows(schema, rows), clean
+		}
 		process := func(i int) {
 			chunk := split.ChunkAt(ords[i])
-			var blk *table.Table
-			hit := false
-			var key string
-			if e.chunkCache != nil {
-				key = keyPrefix + chunkKeySuffix(chunk.Interval)
-				blk, hit = e.chunkCache.Get(key)
+			if e.chunkCache == nil {
+				blk, _ := execChunk(chunk)
+				blockByOrd[i] = blk
+				return
 			}
-			if hit {
+			key := keyPrefix + chunkKeySuffix(chunk.Interval)
+			if blk, ok := e.chunkCache.Get(key); ok {
 				hits.Add(1)
-			} else {
-				if e.chunkCache != nil {
-					misses.Add(1)
+				blockByOrd[i] = blk
+				return
+			}
+			misses.Add(1)
+			// Coalesce concurrent misses on this key onto one sandbox
+			// execution: the leader executes and publishes, followers
+			// share the frozen block by pointer.
+			blk, _, outcome := e.flight.Do(key, flightWaitMultiple*exec.Timeout, func() (*table.Table, bool) {
+				// Re-check the cache under flight leadership: a clean
+				// result published between this goroutine's miss above
+				// and its Do call is in the cache by now (leaders cache
+				// before dissolving the flight), and must not be
+				// re-executed. Peek, not Get — the miss was already
+				// counted above, and this internal re-check must not
+				// distort the analyst-visible hit rate.
+				if blk, ok := e.chunkCache.Peek(key); ok {
+					return blk, true
 				}
-				// The engine-wide semaphore keeps the total number of
-				// in-flight sandbox executions — across every query
-				// running concurrently — at Parallelism, so serving
-				// many analysts cannot oversubscribe the CPU and push
-				// executables past their wall-clock TIMEOUT.
-				//
-				// The slot is released when the executable goroutine
-				// exits (on a timeout that is later than RunChecked's
-				// return, so a slow executable cannot be double-booked)
-				// — except that a hung executable forfeits its slot
-				// after a grace period, so one non-terminating
-				// ProcessFunc degrades to a bounded CPU leak instead of
-				// permanently wedging every analyst's queries.
-				e.procSem <- struct{}{}
-				var once sync.Once
-				var released atomic.Bool
-				release := func() {
-					once.Do(func() {
-						released.Store(true)
-						<-e.procSem
-					})
-				}
-				runExec := exec
-				runExec.Done = release
-				var clean bool
-				var rows []table.Row
-				execStart := time.Now()
-				rows, clean = runExec.RunChecked(chunk)
-				execDur := time.Since(execStart)
-				e.met.sandbox(execDur, clean)
-				sandboxNanos.Add(int64(execDur))
-				// Arm the grace backstop only when the slot is still
-				// held — a panic's goroutine has already exited and
-				// released, so it needs no timer. (A release racing
-				// this check just leaves one harmless no-op timer.)
-				if !clean && st.Timeout > 0 && !released.Load() {
-					time.AfterFunc(slotGraceMultiple*st.Timeout, release)
-				}
-				blk = table.FromRows(schema, rows)
+				blk, clean := execChunk(chunk)
 				// Timeout/panic fallback rows depend on machine load,
 				// not on the chunk; caching them would poison every
-				// later query over this chunk with default rows.
-				if e.chunkCache != nil && clean {
+				// later query over this chunk with default rows. The
+				// flight applies the same rule: an unclean result is
+				// never published to followers (leadership is handed
+				// off instead).
+				if clean {
 					e.chunkCache.Put(key, blk) // freezes blk
 				}
+				return blk, clean
+			})
+			switch outcome {
+			case cache.Shared:
+				sfFollowers.Add(1)
+			case cache.Handoff:
+				sfHandoffs.Add(1)
+			case cache.Abandoned:
+				sfAbandoned.Add(1)
 			}
 			blockByOrd[i] = blk
 		}
@@ -832,6 +884,19 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 		if e.chunkCache != nil {
 			ssp.Add("cache_hits", float64(hits.Load()))
 			ssp.Add("cache_misses", float64(misses.Load()))
+			// Chunks this shard did not execute because a concurrent
+			// miss elsewhere led the same key (plus the failure modes:
+			// promotions after a failed leader, waits abandoned after
+			// flightWaitMultiple×TIMEOUT).
+			if n := sfFollowers.Load(); n > 0 {
+				ssp.Add("singleflight_followers", float64(n))
+			}
+			if n := sfHandoffs.Load(); n > 0 {
+				ssp.Add("singleflight_handoffs", float64(n))
+			}
+			if n := sfAbandoned.Load(); n > 0 {
+				ssp.Add("singleflight_abandoned", float64(n))
+			}
 		}
 		ssp.Add("sandbox_seconds", time.Duration(sandboxNanos.Load()).Seconds())
 		ssp.Set("rows", out.Len())

@@ -178,9 +178,35 @@ func (e *Engine) registerCollectors(reg *obs.Registry) {
 	reg.CollectFunc("privid_chunk_cache_entries",
 		"Chunk-result cache resident entries.", obs.TypeGauge, nil,
 		cacheStat(func() float64 { return float64(e.CacheStats().Entries) }))
+	reg.CollectFunc("privid_chunk_cache_puts_total",
+		"Chunk-result cache write-through stores (disk→RAM promotions excluded).",
+		obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.CacheStats().Puts) }))
 	reg.CollectFunc("privid_chunk_cache_bytes",
 		"Chunk-result cache resident bytes.", obs.TypeGauge, nil,
 		cacheStat(func() float64 { return float64(e.CacheStats().Bytes) }))
+
+	if e.flight != nil {
+		reg.CollectFunc("privid_chunk_singleflight_leaders_total",
+			"Chunk executions performed under singleflight leadership (initial leaders plus promoted followers).",
+			obs.TypeCounter, nil,
+			cacheStat(func() float64 { return float64(e.flight.Stats().Leaders) }))
+		reg.CollectFunc("privid_chunk_singleflight_followers_total",
+			"Chunk executions avoided by sharing a concurrent leader's result.",
+			obs.TypeCounter, nil,
+			cacheStat(func() float64 { return float64(e.flight.Stats().Followers) }))
+		reg.CollectFunc("privid_chunk_singleflight_handoffs_total",
+			"Followers promoted to leader after their leader's execution failed.",
+			obs.TypeCounter, nil,
+			cacheStat(func() float64 { return float64(e.flight.Stats().Handoffs) }))
+		reg.CollectFunc("privid_chunk_singleflight_timeouts_total",
+			"Followers that waited out their leader and executed alone.",
+			obs.TypeCounter, nil,
+			cacheStat(func() float64 { return float64(e.flight.Stats().Timeouts) }))
+		reg.CollectFunc("privid_chunk_singleflight_waiting",
+			"Followers currently blocked on a leader.", obs.TypeGauge, nil,
+			cacheStat(func() float64 { return float64(e.flight.Stats().Waiting) }))
+	}
 
 	if e.opts.DiskCacheDir != "" {
 		reg.CollectFunc("privid_chunk_cache_disk_hits_total",

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"privid/internal/query"
@@ -17,9 +18,25 @@ import (
 // releases whose time span has fully elapsed and that have not been
 // released before, so a standing hourly count over a year consumes
 // each hour's budget once, as that hour's video arrives.
+//
+// Concurrency: StandingQuery is safe for concurrent use. Advance calls
+// are serialized by an internal mutex — two Advance calls racing at
+// the same `now` must not both see a bucket as unreleased, charge its
+// budget twice, and emit it twice. Serialization is the correctness
+// contract, not an implementation detail: exactly-once release is only
+// defined with respect to a total order of Advance calls.
 type StandingQuery struct {
-	engine   *Engine
-	prog     *query.Program
+	engine *Engine
+	prog   *query.Program
+
+	// mu serializes Advance end to end. The filter callback passed to
+	// execute reads released and appends to the call's newly slice;
+	// two concurrent Advances race on both — a data race on the map,
+	// and even with a per-access map lock both would see an elapsed
+	// bucket as unreleased before either marks it, releasing and
+	// charging it twice. Only whole-call serialization makes
+	// exactly-once hold.
+	mu       sync.Mutex
 	released map[string]bool
 }
 
@@ -45,9 +62,12 @@ func releaseKey(r rel.Release) string {
 // Advance processes video up to `now` and returns the newly completed
 // releases. Releases whose span extends past `now` stay pending; each
 // release is returned (and charged) exactly once across the query's
-// lifetime. Calling Advance with non-increasing times is allowed —
-// nothing new is released.
+// lifetime — including when Advance is called concurrently. Calling
+// Advance with non-increasing times is allowed — nothing new is
+// released.
 func (sq *StandingQuery) Advance(now time.Time) (*Result, error) {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
 	var newly []string
 	res, err := sq.engine.execute(sq.prog, "", func(r rel.Release) bool {
 		if r.End.After(now) {
@@ -73,4 +93,8 @@ func (sq *StandingQuery) Advance(now time.Time) (*Result, error) {
 
 // Released returns how many releases the standing query has emitted so
 // far.
-func (sq *StandingQuery) Released() int { return len(sq.released) }
+func (sq *StandingQuery) Released() int {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	return len(sq.released)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -92,6 +93,71 @@ func TestStandingQueryBudgetChargedOnce(t *testing.T) {
 	// Each frame of hour 0 was charged exactly once, by its own
 	// release (0.25 of the default 1.0 split across 4 buckets).
 	rem, err := e.Remaining("camA", 10000) // frame within hour 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem != 10-0.25 {
+		t.Errorf("remaining=%v, want 9.75 (single charge)", rem)
+	}
+}
+
+// TestStandingQueryConcurrentAdvance is the regression test for the
+// Advance race: unsynchronized concurrent Advance calls raced on the
+// released map and newly slice, and could both see the same elapsed
+// bucket as unreleased — emitting and charging it twice. Run under
+// -race; the exactly-once assertions below catch the double-release
+// even without the race detector.
+func TestStandingQueryConcurrentAdvance(t *testing.T) {
+	s := countScene(200)
+	e := newTestEngine(t, s, policy.Policy{Rho: 25 * time.Second, K: 1}, 10)
+	prog, err := query.Parse(standingQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := e.Standing(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC)
+
+	// 8 goroutines advance to the same instant: all four hourly
+	// buckets have elapsed, and across every result each bucket must
+	// appear exactly once.
+	const workers = 8
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := sq.Advance(start.Add(5 * time.Hour))
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+
+	total, eps := 0, 0.0
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		total += len(res.Releases)
+		eps += res.EpsilonSpent
+	}
+	if total != 4 {
+		t.Errorf("concurrent advances released %d buckets in total, want 4 (exactly once)", total)
+	}
+	if sq.Released() != 4 {
+		t.Errorf("Released()=%d, want 4", sq.Released())
+	}
+	// Budget side of exactly-once: hour 0's frames carry a single 0.25
+	// charge (the default ε=1 split across 4 buckets), not one per
+	// racing worker.
+	rem, err := e.Remaining("camA", 10000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,6 +51,17 @@ PROCESS c USING slow TIMEOUT 30sec PRODUCING 1 ROWS
   WITH SCHEMA (n:NUMBER=0) INTO t;
 SELECT COUNT(*) FROM t CONSUMING 0.01;`
 
+// slowQuery2 covers a different minute than slowQuery: identical
+// queries would coalesce on the chunk-execution singleflight (the
+// second becomes a follower and never enters the sandbox), and tests
+// that need two executions in flight must use distinct chunks.
+const slowQuery2 = `
+SPLIT campus BEGIN 3-15-2021/6:01am END 3-15-2021/6:02am
+  BY TIME 60sec STRIDE 0sec INTO c;
+PROCESS c USING slow TIMEOUT 30sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING 0.01;`
+
 // TestCloseWaitsForInFlightJobs: Close must block until running (and
 // queued) jobs reach a terminal state, never abandoning them mid-
 // execution.
@@ -61,7 +72,7 @@ func TestCloseWaitsForInFlightJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id2, err := s.Submit("bob", slowQuery)
+	id2, err := s.Submit("bob", slowQuery2)
 	if err != nil {
 		t.Fatal(err)
 	}

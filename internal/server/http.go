@@ -431,6 +431,7 @@ type statsCameraJSON struct {
 
 func (a *API) getStats(w http.ResponseWriter, _ *http.Request) {
 	cs := a.engine.CacheStats()
+	fs := a.engine.FlightStats()
 	budgets := a.engine.CameraBudgets()
 	cams := make([]statsCameraJSON, len(budgets))
 	for i, cb := range budgets {
@@ -439,6 +440,13 @@ func (a *API) getStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"scheduler": a.sched.Stats(),
 		"cameras":   cams,
+		"singleflight": map[string]any{
+			"leaders":   fs.Leaders,
+			"followers": fs.Followers,
+			"handoffs":  fs.Handoffs,
+			"timeouts":  fs.Timeouts,
+			"waiting":   fs.Waiting,
+		},
 		"chunk_cache": map[string]any{
 			"hits":           cs.Hits,
 			"misses":         cs.Misses,

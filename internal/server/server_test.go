@@ -329,6 +329,15 @@ func TestHTTPCamerasBudgetStats(t *testing.T) {
 	if _, ok := stats["chunk_cache"].(map[string]any)["max_bytes"]; !ok {
 		t.Fatalf("stats missing chunk cache: %+v", stats)
 	}
+	sf, ok := stats["singleflight"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing singleflight: %+v", stats)
+	}
+	for _, k := range []string{"leaders", "followers", "handoffs", "timeouts", "waiting"} {
+		if _, ok := sf[k]; !ok {
+			t.Fatalf("singleflight stats missing %q: %+v", k, sf)
+		}
+	}
 
 	resp, err = http.Get(ts.URL + "/v1/executables")
 	if err != nil {

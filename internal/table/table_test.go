@@ -368,3 +368,104 @@ func TestConformProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// mixedRows builds n rows for a NUMBER,STRING,NUMBER,STRING schema.
+func mixedSchemaRows(n int) (Schema, []Row) {
+	s := MustSchema(
+		Column{Name: "count", Type: DNumber, Default: N(0)},
+		Column{Name: "class", Type: DString, Default: S("")},
+		Column{Name: "conf", Type: DNumber, Default: N(0)},
+		Column{Name: "tag", Type: DString, Default: S("-")},
+	)
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{N(float64(i)), S("person"), N(0.5), S("3.25")}
+	}
+	return s, rows
+}
+
+// TestFromRowsArenaMatchesAppend pins the arena builder to the
+// incremental path: identical contents, numeric views, and safe
+// post-build mutation (a later Append must reallocate the touched
+// column, never write into a neighbor's arena region).
+func TestFromRowsArenaMatchesAppend(t *testing.T) {
+	s, rows := mixedSchemaRows(37)
+	arena := FromRows(s, rows)
+	incr := New(s)
+	incr.Append(rows...)
+	if arena.Len() != incr.Len() {
+		t.Fatalf("len: arena %d, incremental %d", arena.Len(), incr.Len())
+	}
+	for i := 0; i < arena.Len(); i++ {
+		for j := range s.Cols {
+			if !arena.At(i, j).Equal(incr.At(i, j)) {
+				t.Fatalf("cell (%d,%d): arena %v, incremental %v", i, j, arena.At(i, j), incr.At(i, j))
+			}
+		}
+	}
+	// Parse-once numeric view of the STRING "tag" column.
+	if got := arena.Nums(3)[0]; got != 3.25 {
+		t.Errorf("tag numeric view = %v, want 3.25", got)
+	}
+	if arena.Valid(1)[0] {
+		// "person" does not parse as a number; valid must be false.
+		t.Errorf("class %q reported as numeric", "person")
+	}
+	if arena.Nums(1)[0] != 0 {
+		t.Errorf("class numeric view = %v, want 0", arena.Nums(1)[0])
+	}
+
+	// Appending one more row grows column slices whose cap is clipped
+	// to the arena region: every column must reallocate rather than
+	// overrun into the next column's region.
+	arena.Append(Row{N(99), S("car"), N(1), S("x")})
+	if arena.Len() != 38 || arena.At(37, 0).Num() != 99 {
+		t.Fatalf("post-arena Append broken: %v", arena.At(37, 0))
+	}
+	// Column 0's original region must be untouched by column growth.
+	for i := 0; i < 37; i++ {
+		if arena.At(i, 0).Num() != float64(i) {
+			t.Fatalf("arena row %d corrupted after Append: %v", i, arena.At(i, 0))
+		}
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	s, _ := mixedSchemaRows(0)
+	tb := FromRows(s, nil)
+	if tb.Len() != 0 {
+		t.Fatalf("empty FromRows has %d rows", tb.Len())
+	}
+	tb.Append(Row{N(1), S("a"), N(2), S("b")}) // still usable
+	if tb.Len() != 1 {
+		t.Fatalf("append after empty FromRows: %d rows", tb.Len())
+	}
+}
+
+// BenchmarkFromRows_Arena measures the bulk builder used on the
+// PROCESS ingest path; its allocation count is enforced by the CI
+// bench contract (3 arena blocks + table headers, independent of row
+// count).
+func BenchmarkFromRows_Arena(b *testing.B) {
+	s, rows := mixedSchemaRows(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTable = FromRows(s, rows)
+	}
+}
+
+// BenchmarkFromRows_RowAppend is the pre-arena baseline: an empty
+// table grown by incremental Append.
+func BenchmarkFromRows_RowAppend(b *testing.B) {
+	s, rows := mixedSchemaRows(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New(s)
+		t.Append(rows...)
+		benchTable = t
+	}
+}
+
+var benchTable *Table

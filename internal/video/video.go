@@ -27,7 +27,10 @@ func (i Info) Clock() vtime.Clock { return vtime.Clock{Start: i.Start, Rate: i.F
 // Bounds returns the stream's full frame interval.
 func (i Info) Bounds() vtime.Interval { return vtime.NewInterval(0, i.Frames) }
 
-// Frame is what the camera shows at one instant.
+// Frame is what the camera shows at one instant. Objects is owned by
+// the Source that produced it and may be shared between frames handed
+// to different consumers (decorators pass it through untouched when
+// they filter nothing), so consumers must treat it as read-only.
 type Frame struct {
 	Index   int64
 	Objects []scene.Observation
@@ -88,6 +91,14 @@ type Occluder interface {
 // Masked returns a source that drops observations hidden by the
 // occluder. Privid applies masks to video before the analyst's
 // executable sees it (§7.1), so masking lives at the Source layer.
+//
+// The decorator filters lazily: when no observation is hidden — the
+// overwhelmingly common case for typical masks — the underlying
+// frame's Objects slice is returned untouched (zero copies, zero
+// allocations through an arbitrarily deep decorator chain). A copy is
+// made only when at least one observation must actually be dropped.
+// Frame.Objects must therefore be treated as read-only by consumers;
+// see Frame.
 func Masked(src Source, occ Occluder) Source {
 	if occ == nil {
 		return src
@@ -104,14 +115,37 @@ func (m *maskedSource) Info() Info { return m.src.Info() }
 
 func (m *maskedSource) Frame(i int64) Frame {
 	f := m.src.Frame(i)
-	out := f.Objects[:0:0]
-	for _, o := range f.Objects {
-		if m.occ.Visible(o.Box) {
-			out = append(out, o)
+	f.Objects = filterObjects(f.Objects, func(o *scene.Observation) bool {
+		return m.occ.Visible(o.Box)
+	})
+	return f
+}
+
+// filterObjects returns the observations satisfying keep. The input
+// slice is returned untouched (shared, not copied) when every element
+// survives; otherwise exactly one allocation of the surviving length
+// is made. keep is called once per element.
+func filterObjects(objs []scene.Observation, keep func(*scene.Observation) bool) []scene.Observation {
+	// Scan for the first casualty; until one is found there is nothing
+	// to copy.
+	drop := -1
+	for i := range objs {
+		if !keep(&objs[i]) {
+			drop = i
+			break
 		}
 	}
-	f.Objects = out
-	return f
+	if drop < 0 {
+		return objs
+	}
+	out := make([]scene.Observation, drop, len(objs)-1)
+	copy(out, objs[:drop])
+	for i := drop + 1; i < len(objs); i++ {
+		if keep(&objs[i]) {
+			out = append(out, objs[i])
+		}
+	}
+	return out
 }
 
 func (m *maskedSource) ActiveIntervals(iv vtime.Interval) []vtime.Interval {
@@ -123,7 +157,9 @@ func (m *maskedSource) ActiveIntervals(iv vtime.Interval) []vtime.Interval {
 
 // Cropped returns a source restricted to a spatial region: only
 // observations whose box center lies inside the region remain. This
-// implements the per-region view of spatial splitting (§7.2).
+// implements the per-region view of spatial splitting (§7.2). Like
+// Masked it filters lazily: frames in which nothing is cropped share
+// the underlying Objects slice instead of copying it.
 func Cropped(src Source, region geom.Rect) Source {
 	return &croppedSource{src: src, region: region}
 }
@@ -137,13 +173,9 @@ func (c *croppedSource) Info() Info { return c.src.Info() }
 
 func (c *croppedSource) Frame(i int64) Frame {
 	f := c.src.Frame(i)
-	out := f.Objects[:0:0]
-	for _, o := range f.Objects {
-		if c.region.Contains(o.Box.Center()) {
-			out = append(out, o)
-		}
-	}
-	f.Objects = out
+	f.Objects = filterObjects(f.Objects, func(o *scene.Observation) bool {
+		return c.region.Contains(o.Box.Center())
+	})
 	return f
 }
 

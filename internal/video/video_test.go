@@ -82,6 +82,156 @@ func TestCroppedSource(t *testing.T) {
 	}
 }
 
+// staticSource serves one pre-built Objects slice for every frame, so
+// tests and benchmarks can observe exactly what the decorators do with
+// it (SceneSource materializes a fresh slice per At call, which would
+// mask decorator copies and allocations).
+type staticSource struct {
+	info Info
+	objs []scene.Observation
+}
+
+func (s *staticSource) Info() Info          { return s.info }
+func (s *staticSource) Frame(i int64) Frame { return Frame{Index: i, Objects: s.objs} }
+
+// TestDecoratorPassthroughSharesSlice is the regression test for the
+// per-frame decorator allocation: when nothing is filtered, the
+// decorator must return the source's Objects slice itself, not a copy.
+func TestDecoratorPassthroughSharesSlice(t *testing.T) {
+	src := &staticSource{
+		info: Info{Camera: "camA", W: 100, H: 100, FPS: 10, Frames: 1000},
+		objs: []scene.Observation{
+			{EntityID: 0, Box: geom.Rect{X0: 20, Y0: 20, X1: 30, Y1: 30}},
+			{EntityID: 1, Box: geom.Rect{X0: 70, Y0: 70, X1: 80, Y1: 80}},
+		},
+	}
+	base := src.objs
+
+	// A mask that hides nothing and a crop covering the full frame both
+	// keep every object, so both must pass the slice through untouched.
+	m := Masked(src, rectOccluder{geom.Rect{X0: -10, Y0: -10, X1: -5, Y1: -5}})
+	if got := m.Frame(160).Objects; &got[0] != &base[0] || len(got) != len(base) {
+		t.Errorf("masked passthrough copied the Objects slice")
+	}
+	c := Cropped(src, geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100})
+	if got := c.Frame(160).Objects; &got[0] != &base[0] || len(got) != len(base) {
+		t.Errorf("cropped passthrough copied the Objects slice")
+	}
+
+	// Stacked decorators that filter nothing still share the slice.
+	mc := Cropped(m, geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100})
+	if got := mc.Frame(160).Objects; &got[0] != &base[0] {
+		t.Errorf("stacked passthrough copied the Objects slice")
+	}
+
+	// And a decorator that does filter must copy, never aliasing the
+	// source slice (it is shared with other consumers).
+	half := Cropped(src, geom.Rect{X0: 50, Y0: 50, X1: 100, Y1: 100})
+	got := half.Frame(160).Objects
+	if len(got) != 1 || got[0].EntityID != 1 {
+		t.Fatalf("half crop: %+v", got)
+	}
+	if &got[0] == &base[0] || &got[0] == &base[1] {
+		t.Errorf("filtered result aliases the source slice")
+	}
+	if len(base) != 2 {
+		t.Errorf("filtering mutated the source slice")
+	}
+}
+
+func TestFilterObjects(t *testing.T) {
+	objs := []scene.Observation{{EntityID: 0}, {EntityID: 1}, {EntityID: 2}, {EntityID: 3}}
+
+	// Everything kept: same slice back.
+	got := filterObjects(objs, func(*scene.Observation) bool { return true })
+	if &got[0] != &objs[0] || len(got) != 4 {
+		t.Errorf("keep-all should return the input slice")
+	}
+
+	// Drop first, drop middle, drop last, drop everything.
+	cases := []struct {
+		keep func(*scene.Observation) bool
+		want []int
+	}{
+		{func(o *scene.Observation) bool { return o.EntityID != 0 }, []int{1, 2, 3}},
+		{func(o *scene.Observation) bool { return o.EntityID != 2 }, []int{0, 1, 3}},
+		{func(o *scene.Observation) bool { return o.EntityID != 3 }, []int{0, 1, 2}},
+		{func(*scene.Observation) bool { return false }, nil},
+	}
+	for i, tc := range cases {
+		got := filterObjects(objs, tc.keep)
+		if len(got) != len(tc.want) {
+			t.Fatalf("case %d: got %v, want ids %v", i, got, tc.want)
+		}
+		for j, id := range tc.want {
+			if got[j].EntityID != id {
+				t.Fatalf("case %d: got %v, want ids %v", i, got, tc.want)
+			}
+		}
+		if len(got) > 0 && &got[0] == &objs[0] {
+			t.Fatalf("case %d: filtered result must not alias the input", i)
+		}
+	}
+
+	// Empty and nil inputs pass through.
+	if got := filterObjects(nil, func(*scene.Observation) bool { return false }); got != nil {
+		t.Errorf("nil input: got %v", got)
+	}
+}
+
+// benchSource returns a static 8-object frame: four objects on the
+// left half of a 100×100 view, four on the right.
+func benchSource() *staticSource {
+	src := &staticSource{info: Info{Camera: "camA", W: 100, H: 100, FPS: 10, Frames: 1000}}
+	for i := 0; i < 8; i++ {
+		x := 20.0
+		if i%2 == 0 {
+			x = 70.0
+		}
+		y := 10.0 * float64(i+1)
+		src.objs = append(src.objs, scene.Observation{
+			EntityID: i, Class: scene.Person,
+			Box: geom.Rect{X0: x, Y0: y, X1: x + 10, Y1: y + 8},
+		})
+	}
+	return src
+}
+
+// BenchmarkMasked_Passthrough is the alloc-counting regression
+// benchmark: a decorator stack that filters nothing must not allocate
+// per frame (enforced at 0 allocs/op by the CI bench contract).
+func BenchmarkMasked_Passthrough(b *testing.B) {
+	src := benchSource()
+	// Mask far outside the frame and a full-frame crop: nothing is ever
+	// filtered, which is the common case for real deployments.
+	m := Cropped(Masked(src, rectOccluder{geom.Rect{X0: -10, Y0: -10, X1: -5, Y1: -5}}),
+		geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 100})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var kept int
+	for i := 0; i < b.N; i++ {
+		kept += len(m.Frame(int64(i)).Objects)
+	}
+	sinkInt = kept
+}
+
+// BenchmarkMasked_Filtering measures the one-allocation path where the
+// mask actually drops objects per frame.
+func BenchmarkMasked_Filtering(b *testing.B) {
+	src := benchSource()
+	// Occlude the left half: the four objects parked at x=20 disappear.
+	m := Masked(src, rectOccluder{geom.Rect{X0: 0, Y0: 0, X1: 50, Y1: 100}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var kept int
+	for i := 0; i < b.N; i++ {
+		kept += len(m.Frame(int64(i)).Objects)
+	}
+	sinkInt = kept
+}
+
+var sinkInt int
+
 func TestSplitChunking(t *testing.T) {
 	s := testScene(t)
 	src := &SceneSource{Camera: "camA", Scene: s}

@@ -163,6 +163,10 @@ type (
 	// CacheStats is a snapshot of the engine's chunk-result cache
 	// counters (Engine.CacheStats).
 	CacheStats = cache.Stats
+	// FlightStats is a snapshot of the chunk-execution singleflight
+	// counters — leaders, followers, handoffs, timeouts, currently
+	// waiting (Engine.FlightStats).
+	FlightStats = cache.FlightStats
 )
 
 // Observability types (see internal/obs and DESIGN.md
