@@ -172,6 +172,17 @@ PROCESS c USING scanner TIMEOUT 5sec PRODUCING 1 ROWS
   WITH SCHEMA (n:NUMBER=0) INTO t;
 SELECT AVG(range(n, 0, 30)) FROM t CONSUMING 0.0001;`
 
+// partialBenchQuery is cacheBenchQuery with a pushdown-eligible
+// aggregation (SUM with a range constraint instead of AVG, which the
+// partial planner declines); cacheBenchQuery deliberately keeps AVG so
+// the table-tier benchmarks keep measuring the materialized path.
+const partialBenchQuery = `
+SPLIT campus BEGIN 3-15-2021/6:00am END 3-15-2021/6:10am
+  BY TIME 10sec STRIDE 0sec INTO c;
+PROCESS c USING scanner TIMEOUT 5sec PRODUCING 1 ROWS
+  WITH SCHEMA (n:NUMBER=0) INTO t;
+SELECT SUM(range(n, 0, 30)) FROM t CONSUMING 0.0001;`
+
 func runCacheBench(b *testing.B, warm bool) {
 	src := privid.NewSceneCamera("campus", privid.CampusProfile(), 1, 10*time.Minute)
 	prog, err := privid.Parse(cacheBenchQuery)
@@ -292,6 +303,10 @@ func BenchmarkChunkCache_DiskWarm(b *testing.B) {
 		b.Fatal(err)
 	}
 	execsBefore := execs.Load()
+	// Allocation count is part of the contract: segment reads decode
+	// out of pooled buffers, so the warm path must not allocate a fresh
+	// read buffer per chunk (BENCH_9.json pins allocs/op).
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Execute(prog); err != nil {
@@ -304,6 +319,45 @@ func BenchmarkChunkCache_DiskWarm(b *testing.B) {
 	}
 	cs := engine.CacheStats()
 	b.ReportMetric(float64(cs.DiskHits)/float64(b.N), "disk-hits/op")
+}
+
+// BenchmarkPartialStateCache_Warm measures the pushdown warm path: the
+// query's aggregation plans partially, so a repeat is answered from
+// cached per-chunk partial states — no sandbox executions AND no
+// per-chunk folds, just decode + merge + finalize. Both work counters
+// are asserted to be exactly zero and reported for the CI contract
+// (BENCH_9.json pins them at 0).
+func BenchmarkPartialStateCache_Warm(b *testing.B) {
+	src := privid.NewSceneCamera("campus", privid.CampusProfile(), 1, 10*time.Minute)
+	prog, err := privid.Parse(partialBenchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var execs atomic.Int64
+	engine := newCacheBenchEngine(b, src, privid.Options{}, &execs)
+	if _, err := engine.Execute(prog); err != nil { // populate the state tier
+		b.Fatal(err)
+	}
+	if ps := engine.PartialStats(); ps.Plans == 0 || ps.Folds == 0 {
+		b.Fatalf("query did not push down: %+v", ps)
+	}
+	execsBefore := execs.Load()
+	foldsBefore := engine.PartialStats().Folds
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Execute(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ran := execs.Load() - execsBefore
+	folds := engine.PartialStats().Folds - foldsBefore
+	if ran != 0 || folds != 0 {
+		b.Fatalf("warm partial-state run executed sandbox %d times, folded %d chunks", ran, folds)
+	}
+	b.ReportMetric(float64(ran)/float64(b.N), "sandbox-execs/op")
+	b.ReportMetric(float64(folds)/float64(b.N), "partial-folds/op")
 }
 
 // Multi-camera benchmarks: the identical 4-camera fleet query executed

@@ -30,6 +30,8 @@ type measurement struct {
 	nsPerOp     float64
 	allocsPerOp float64
 	hasAllocs   bool
+	bytesPerOp  float64
+	hasBytes    bool
 	samples     int
 	// metrics holds custom b.ReportMetric values keyed by their unit
 	// string (e.g. "sandbox-execs/op", "dedup-ratio"), min over
@@ -46,9 +48,15 @@ type check struct {
 	//                   below the floor (a speedup that shrank);
 	//   "alloc_ratio" — allocs/op of Num divided by allocs/op of Den,
 	//                   fail if below the floor;
+	//   "bytes_ratio" — B/op of Num divided by B/op of Den, fail if
+	//                   below the floor (the streaming-aggregation
+	//                   contract: bytes allocated per op must stay a
+	//                   multiple below the materialized path's);
 	//   "max_allocs"  — allocs/op of Benchmark, fail if above
 	//                   recorded*(1+tolerance) (allocations are
 	//                   deterministic, so this is machine-independent);
+	//   "max_bytes"   — B/op of Benchmark, fail if above
+	//                   recorded*(1+tolerance);
 	//   "max_metric"  — a custom b.ReportMetric value of Benchmark
 	//                   (named by Metric, e.g. "sandbox-execs/op"),
 	//                   fail if above recorded*(1+tolerance). Use it
@@ -158,7 +166,7 @@ func evaluate(c check, tol float64, results map[string]*measurement) (bool, stri
 		return m, nil
 	}
 	switch c.Kind {
-	case "ratio", "alloc_ratio":
+	case "ratio", "alloc_ratio", "bytes_ratio":
 		num, err := get(c.Num)
 		if err != nil {
 			return false, "", err
@@ -168,12 +176,13 @@ func evaluate(c check, tol float64, results map[string]*measurement) (bool, stri
 			return false, "", err
 		}
 		var measured float64
-		if c.Kind == "ratio" {
+		switch c.Kind {
+		case "ratio":
 			if den.nsPerOp == 0 {
 				return false, "", fmt.Errorf("%s reported 0 ns/op", c.Den)
 			}
 			measured = num.nsPerOp / den.nsPerOp
-		} else {
+		case "alloc_ratio":
 			if !num.hasAllocs || !den.hasAllocs {
 				return false, "", fmt.Errorf("alloc_ratio needs -benchmem or ReportAllocs on both benchmarks")
 			}
@@ -181,6 +190,14 @@ func evaluate(c check, tol float64, results map[string]*measurement) (bool, stri
 				den.allocsPerOp = 1 // zero-alloc denominator: treat as 1 to stay finite
 			}
 			measured = num.allocsPerOp / den.allocsPerOp
+		case "bytes_ratio":
+			if !num.hasBytes || !den.hasBytes {
+				return false, "", fmt.Errorf("bytes_ratio needs -benchmem or ReportAllocs on both benchmarks")
+			}
+			if den.bytesPerOp == 0 {
+				den.bytesPerOp = 1 // zero-byte denominator: treat as 1 to stay finite
+			}
+			measured = num.bytesPerOp / den.bytesPerOp
 		}
 		threshold := c.Recorded * (1 - tol)
 		if c.Floor > threshold {
@@ -199,6 +216,17 @@ func evaluate(c check, tol float64, results map[string]*measurement) (bool, stri
 		limit := c.Recorded * (1 + tol)
 		detail := fmt.Sprintf("%.0f allocs/op (recorded %.0f, limit %.0f)", m.allocsPerOp, c.Recorded, limit)
 		return m.allocsPerOp <= limit, detail, nil
+	case "max_bytes":
+		m, err := get(c.Benchmark)
+		if err != nil {
+			return false, "", err
+		}
+		if !m.hasBytes {
+			return false, "", fmt.Errorf("max_bytes needs -benchmem or ReportAllocs on %s", c.Benchmark)
+		}
+		limit := c.Recorded * (1 + tol)
+		detail := fmt.Sprintf("%.0f B/op (recorded %.0f, limit %.0f)", m.bytesPerOp, c.Recorded, limit)
+		return m.bytesPerOp <= limit, detail, nil
 	case "max_metric":
 		m, err := get(c.Benchmark)
 		if err != nil {
@@ -234,8 +262,8 @@ func parseBench(f *os.File) (map[string]*measurement, error) {
 				name = name[:i]
 			}
 		}
-		var ns, allocs float64
-		hasNs, hasAllocs := false, false
+		var ns, allocs, bytes float64
+		hasNs, hasAllocs, hasBytes := false, false, false
 		var metrics map[string]float64
 		for i := 2; i+1 < len(fields); i++ {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -248,8 +276,10 @@ func parseBench(f *os.File) (map[string]*measurement, error) {
 				ns, hasNs = v, true
 			case "allocs/op":
 				allocs, hasAllocs = v, true
-			case "B/op", "MB/s":
-				// standard units we don't track
+			case "B/op":
+				bytes, hasBytes = v, true
+			case "MB/s":
+				// standard unit we don't track
 			default:
 				// A non-numeric token after a value is a custom
 				// b.ReportMetric unit (e.g. "sandbox-execs/op").
@@ -267,7 +297,8 @@ func parseBench(f *os.File) (map[string]*measurement, error) {
 		}
 		m, ok := out[name]
 		if !ok {
-			m = &measurement{nsPerOp: ns, allocsPerOp: allocs, hasAllocs: hasAllocs, metrics: metrics}
+			m = &measurement{nsPerOp: ns, allocsPerOp: allocs, hasAllocs: hasAllocs,
+				bytesPerOp: bytes, hasBytes: hasBytes, metrics: metrics}
 			out[name] = m
 		} else {
 			if ns < m.nsPerOp {
@@ -276,6 +307,10 @@ func parseBench(f *os.File) (map[string]*measurement, error) {
 			if hasAllocs && (!m.hasAllocs || allocs < m.allocsPerOp) {
 				m.allocsPerOp = allocs
 				m.hasAllocs = true
+			}
+			if hasBytes && (!m.hasBytes || bytes < m.bytesPerOp) {
+				m.bytesPerOp = bytes
+				m.hasBytes = true
 			}
 			for unit, v := range metrics {
 				if m.metrics == nil {

@@ -74,6 +74,17 @@ type Stats struct {
 	// DiskEvictions counts whole segments dropped to respect
 	// DiskMaxBytes.
 	DiskEvictions uint64
+
+	// StateHits/StateMisses/StatePuts count the raw partial-state tier
+	// (GetRaw/PutRaw): encoded mergeable aggregate states keyed on
+	// chunk content × aggregation-plan identity. They are accounted
+	// separately from the table counters above so the table-tier hit
+	// rate and write-through rate stay comparable across releases that
+	// predate aggregation pushdown.
+	StateHits, StateMisses, StatePuts uint64
+	// DiskStateHits/DiskStateMisses/DiskStatePuts are the disk tier's
+	// share of the raw-state traffic.
+	DiskStateHits, DiskStateMisses, DiskStatePuts uint64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -98,6 +109,15 @@ type Cache interface {
 	// the analyst-visible hit rate.
 	Peek(key string) (*table.Table, bool)
 	Put(key string, t *table.Table)
+	// GetRaw and PutRaw store opaque byte payloads — encoded partial
+	// aggregate states — in the same tiers under their own counters.
+	// Raw keys and table keys live in disjoint namespaces (the engine
+	// prefixes raw keys with the aggregation plan's versioned identity,
+	// which can never collide with a quoted camera name), so one store
+	// serves both kinds. The returned slice is shared; callers must not
+	// mutate it, and must not mutate a slice after PutRaw.
+	GetRaw(key string) ([]byte, bool)
+	PutRaw(key string, raw []byte)
 	Stats() Stats
 	// Close releases any resources (disk tiers sync and unmap). The
 	// cache must not be used after Close.
@@ -114,12 +134,18 @@ type LRU struct {
 	ll       *list.List // front = most recent
 	items    map[string]*list.Element
 
-	hits, misses, puts, evictions uint64
+	hits, misses, puts, evictions     uint64
+	stateHits, stateMisses, statePuts uint64
 }
 
+// lruEntry is one cached value: a frozen table (tbl non-nil) or a raw
+// partial-state payload (tbl nil, raw set). The two kinds share the
+// recency list and byte bound — a hot table can evict a cold state and
+// vice versa.
 type lruEntry struct {
 	key  string
 	tbl  *table.Table
+	raw  []byte
 	cost int64
 }
 
@@ -145,7 +171,7 @@ func (c *LRU) Get(key string) (*table.Table, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
-	if !ok {
+	if !ok || el.Value.(*lruEntry).tbl == nil {
 		c.misses++
 		return nil, false
 	}
@@ -154,13 +180,28 @@ func (c *LRU) Get(key string) (*table.Table, bool) {
 	return el.Value.(*lruEntry).tbl, true
 }
 
+// GetRaw returns the raw partial-state payload stored under key
+// (shared, not copied) and marks the entry most recently used.
+func (c *LRU) GetRaw(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok || el.Value.(*lruEntry).tbl != nil {
+		c.stateMisses++
+		return nil, false
+	}
+	c.stateHits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).raw, true
+}
+
 // Peek returns the stored table without counting a hit or miss and
 // without touching the entry's recency.
 func (c *LRU) Peek(key string) (*table.Table, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
-	if !ok {
+	if !ok || el.Value.(*lruEntry).tbl == nil {
 		return nil, false
 	}
 	return el.Value.(*lruEntry).tbl, true
@@ -178,6 +219,42 @@ func (c *LRU) Put(key string, t *table.Table) { c.put(key, t, true) }
 // the real write-through rate from operators (the composite cache
 // counts promotions separately in Stats.Promotions).
 func (c *LRU) promote(key string, t *table.Table) { c.put(key, t, false) }
+
+// PutRaw stores a raw partial-state payload under key, subject to the
+// same byte bound and eviction policy as tables. The caller must not
+// mutate raw afterwards.
+func (c *LRU) PutRaw(key string, raw []byte) { c.putRaw(key, raw, true) }
+
+// promoteRaw is PutRaw without the StatePuts accounting, for disk→RAM
+// migrations (mirrors promote).
+func (c *LRU) promoteRaw(key string, raw []byte) { c.putRaw(key, raw, false) }
+
+func (c *LRU) putRaw(key string, raw []byte, countPut bool) {
+	cost := int64(entryOverhead + len(key) + len(raw))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cost > c.maxBytes {
+		return
+	}
+	if countPut {
+		c.statePuts++
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.bytes += cost - ent.cost
+		ent.tbl = nil
+		ent.raw = raw
+		ent.cost = cost
+		c.ll.MoveToFront(el)
+	} else {
+		ent := &lruEntry{key: key, raw: raw, cost: cost}
+		c.items[key] = c.ll.PushFront(ent)
+		c.bytes += cost
+	}
+	for c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+}
 
 func (c *LRU) put(key string, t *table.Table, countPut bool) {
 	t.Freeze()
@@ -235,12 +312,15 @@ func (c *LRU) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Puts:      c.puts,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
-		MaxBytes:  c.maxBytes,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Puts:        c.puts,
+		Evictions:   c.evictions,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		MaxBytes:    c.maxBytes,
+		StateHits:   c.stateHits,
+		StateMisses: c.stateMisses,
+		StatePuts:   c.statePuts,
 	}
 }

@@ -75,7 +75,34 @@ type Disk struct {
 	bytes    int64
 	nextID   int64
 
-	hits, misses, puts, evictions uint64
+	hits, misses, puts, evictions     uint64
+	stateHits, stateMisses, statePuts uint64
+}
+
+// readBufPool recycles segment read buffers. The disk tier's warm path
+// is otherwise dominated by one payload-sized allocation per lookup;
+// pooling it makes a warm Get's allocations proportional to the decoded
+// table, not the decoded table plus its encoded form. Buffers larger
+// than maxPooledReadBuf are dropped instead of pooled so one giant
+// entry cannot pin memory indefinitely.
+var readBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+const maxPooledReadBuf = 4 << 20
+
+func getReadBuf(n int) *[]byte {
+	bp := readBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putReadBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledReadBuf {
+		return
+	}
+	readBufPool.Put(bp)
 }
 
 // OpenDisk opens (or creates) a disk cache in dir bounded at maxBytes.
@@ -234,33 +261,37 @@ func (d *Disk) active() (*segment, error) {
 	return seg, nil
 }
 
-// readFrame returns the payload bytes of one indexed entry. Caller
-// holds d.mu.
-func (d *Disk) readFrame(e *diskEntry) ([]byte, bool) {
+// readFrame returns the payload bytes of one indexed entry in a pooled
+// buffer. The caller must hand the second return back to putReadBuf
+// once it no longer references the payload (table.DecodeBinary copies
+// everything out, so decoding then releasing is safe). Caller holds
+// d.mu.
+func (d *Disk) readFrame(e *diskEntry) ([]byte, *[]byte, bool) {
 	seg, ok := d.segs[e.seg]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	start := e.off + segHeaderBytes + int64(e.kLen)
 	end := start + int64(e.pLen)
 	if seg.mm != nil {
 		if end > int64(len(seg.mm)) {
-			return nil, false
+			return nil, nil, false
 		}
 		// Copy out of the mapping so a later munmap cannot invalidate
-		// the decoded table's backing arrays.
-		out := make([]byte, e.pLen)
-		copy(out, seg.mm[start:end])
-		return out, true
+		// the payload while the caller still holds it.
+		bp := getReadBuf(int(e.pLen))
+		copy(*bp, seg.mm[start:end])
+		return *bp, bp, true
 	}
 	if seg.f == nil {
-		return nil, false
+		return nil, nil, false
 	}
-	out := make([]byte, e.pLen)
-	if _, err := seg.f.ReadAt(out, start); err != nil {
-		return nil, false
+	bp := getReadBuf(int(e.pLen))
+	if _, err := seg.f.ReadAt(*bp, start); err != nil {
+		putReadBuf(bp)
+		return nil, nil, false
 	}
-	return out, true
+	return *bp, bp, true
 }
 
 // Get decodes and returns the table stored under key. The returned
@@ -269,8 +300,9 @@ func (d *Disk) Get(key string) (*table.Table, bool) {
 	d.mu.Lock()
 	e, ok := d.index[key]
 	var payload []byte
+	var bp *[]byte
 	if ok {
-		payload, ok = d.readFrame(e)
+		payload, bp, ok = d.readFrame(e)
 	}
 	if !ok {
 		d.misses++
@@ -280,8 +312,11 @@ func (d *Disk) Get(key string) (*table.Table, bool) {
 	d.hits++
 	d.mu.Unlock()
 	// Decode outside the lock: it allocates proportionally to the
-	// entry and must not serialize other lookups.
+	// entry and must not serialize other lookups. DecodeBinary copies
+	// everything out of the payload, so the read buffer goes back to
+	// the pool immediately after.
 	t, err := table.DecodeBinary(payload)
+	putReadBuf(bp)
 	if err != nil {
 		// Bit rot after indexing; treat as a miss.
 		d.mu.Lock()
@@ -306,18 +341,42 @@ func (d *Disk) Peek(key string) (*table.Table, bool) {
 	d.mu.Lock()
 	e, ok := d.index[key]
 	var payload []byte
+	var bp *[]byte
 	if ok {
-		payload, ok = d.readFrame(e)
+		payload, bp, ok = d.readFrame(e)
 	}
 	d.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
 	t, err := table.DecodeBinary(payload)
+	putReadBuf(bp)
 	if err != nil {
 		return nil, false
 	}
 	return t.Freeze(), true
+}
+
+// GetRaw returns the raw partial-state payload stored under key. The
+// returned slice is a private copy.
+func (d *Disk) GetRaw(key string) ([]byte, bool) {
+	d.mu.Lock()
+	e, ok := d.index[key]
+	var payload []byte
+	var bp *[]byte
+	if ok {
+		payload, bp, ok = d.readFrame(e)
+	}
+	if !ok {
+		d.stateMisses++
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.stateHits++
+	d.mu.Unlock()
+	out := append([]byte(nil), payload...)
+	putReadBuf(bp)
+	return out, true
 }
 
 // Put appends the table under key. Oversized entries and encode-free
@@ -325,7 +384,19 @@ func (d *Disk) Peek(key string) (*table.Table, bool) {
 // previous value (if any) intact.
 func (d *Disk) Put(key string, t *table.Table) {
 	t.Freeze()
-	payload := t.EncodeBinary()
+	d.putFrame(key, t.EncodeBinary(), &d.puts)
+}
+
+// PutRaw appends a raw partial-state payload under key. Raw entries
+// share the segment format with table entries — the payload kind is
+// implied by the key namespace, so restart recovery needs no schema.
+func (d *Disk) PutRaw(key string, raw []byte) {
+	d.putFrame(key, raw, &d.statePuts)
+}
+
+// putFrame appends one framed entry; counter (guarded by d.mu) is
+// bumped on a successful store.
+func (d *Disk) putFrame(key string, payload []byte, counter *uint64) {
 	if int64(len(key))+int64(len(payload)) > maxFrameBytes {
 		return
 	}
@@ -356,7 +427,7 @@ func (d *Disk) Put(key string, t *table.Table) {
 	}
 	seg.size += int64(len(frame))
 	d.bytes += int64(len(frame))
-	d.puts++
+	*counter++
 	if old, ok := d.index[key]; ok {
 		if oseg, ok := d.segs[old.seg]; ok {
 			oseg.live--
@@ -451,13 +522,19 @@ func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return Stats{
-		DiskHits:      d.hits,
-		DiskMisses:    d.misses,
-		DiskPuts:      d.puts,
-		DiskEvictions: d.evictions,
-		DiskBytes:     d.bytes,
-		DiskMaxBytes:  d.maxBytes,
-		DiskSegments:  len(d.order),
-		Entries:       len(d.index),
+		DiskHits:        d.hits,
+		DiskMisses:      d.misses,
+		DiskPuts:        d.puts,
+		DiskEvictions:   d.evictions,
+		DiskBytes:       d.bytes,
+		DiskMaxBytes:    d.maxBytes,
+		DiskSegments:    len(d.order),
+		Entries:         len(d.index),
+		StateHits:       d.stateHits,
+		StateMisses:     d.stateMisses,
+		StatePuts:       d.statePuts,
+		DiskStateHits:   d.stateHits,
+		DiskStateMisses: d.stateMisses,
+		DiskStatePuts:   d.statePuts,
 	}
 }

@@ -101,7 +101,9 @@ type FlightStats struct {
 // late-waking follower can never re-execute a key whose result was
 // already published. waiters is guarded by Flight.mu; when a failed
 // leader finds no waiters — or the last waiter times out with a
-// handoff token pending — the call is retired from the map instead.
+// handoff token pending — the call is retired from the map instead. A
+// clean publish zeroes waiters while retiring the call, so followers
+// woken by the done broadcast return without reacquiring the lock.
 type flightCall struct {
 	done    chan struct{}
 	token   chan struct{}
@@ -155,10 +157,11 @@ func (f *Flight) Do(key string, maxWait time.Duration, fn func() (*table.Table, 
 	f.waiting.Add(1)
 	select {
 	case <-c.done:
+		// Lock-free wakeup: a clean publish retires the call and zeroes
+		// its waiter count in one critical section on the leader's side,
+		// so N followers waking here cost one broadcast (the close)
+		// instead of N serialized trips through f.mu.
 		f.waiting.Add(-1)
-		f.mu.Lock()
-		c.waiters--
-		f.mu.Unlock()
 		f.followers.Add(1)
 		return c.tbl, true, Shared
 	case <-c.token:
@@ -172,7 +175,11 @@ func (f *Flight) Do(key string, maxWait time.Duration, fn func() (*table.Table, 
 	case <-deadline:
 		f.waiting.Add(-1)
 		f.mu.Lock()
-		c.waiters--
+		// The leader may have published (zeroing waiters) between the
+		// deadline firing and this lock acquisition.
+		if c.waiters > 0 {
+			c.waiters--
+		}
 		if c.waiters == 0 {
 			// If a handoff token is pending and we were its only
 			// audience, retire the call so the key starts fresh.
@@ -204,7 +211,11 @@ func (f *Flight) lead(key string, c *flightCall, fn func() (*table.Table, bool),
 	defer func() {
 		f.mu.Lock()
 		if clean {
+			// Retire the call and settle every waiter's bookkeeping in
+			// this one critical section; the close below then wakes all
+			// followers at once and they return without touching f.mu.
 			delete(f.calls, key)
+			c.waiters = 0
 			f.mu.Unlock()
 			close(c.done)
 			return

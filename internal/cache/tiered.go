@@ -64,6 +64,38 @@ func (t *Tiered) Peek(key string) (*table.Table, bool) {
 	return t.disk.Peek(key)
 }
 
+// GetRaw tries RAM, then disk, for a raw partial-state payload. Disk
+// hits are promoted into RAM like table entries.
+func (t *Tiered) GetRaw(key string) ([]byte, bool) {
+	if t.mem != nil {
+		if raw, ok := t.mem.GetRaw(key); ok {
+			return raw, true
+		}
+	}
+	if t.disk == nil {
+		return nil, false
+	}
+	raw, ok := t.disk.GetRaw(key)
+	if !ok {
+		return nil, false
+	}
+	if t.mem != nil {
+		t.mem.promoteRaw(key, raw)
+		t.promotions.Add(1)
+	}
+	return raw, true
+}
+
+// PutRaw stores a raw partial-state payload in both tiers.
+func (t *Tiered) PutRaw(key string, raw []byte) {
+	if t.mem != nil {
+		t.mem.PutRaw(key, raw)
+	}
+	if t.disk != nil {
+		t.disk.PutRaw(key, raw)
+	}
+}
+
 // Put stores the (frozen) table in both tiers.
 func (t *Tiered) Put(key string, tbl *table.Table) {
 	tbl.Freeze()
@@ -104,15 +136,22 @@ func (t *Tiered) Stats() Stats {
 		s.DiskBytes = ds.DiskBytes
 		s.DiskMaxBytes = ds.DiskMaxBytes
 		s.DiskSegments = ds.DiskSegments
+		s.DiskStateHits = ds.DiskStateHits
+		s.DiskStateMisses = ds.DiskStateMisses
+		s.DiskStatePuts = ds.DiskStatePuts
 		s.Promotions = t.promotions.Load()
 		if t.mem == nil {
 			s.Hits, s.Misses = ds.DiskHits, ds.DiskMisses
 			s.Puts = ds.DiskPuts
 			s.Entries = ds.Entries
+			s.StateHits, s.StateMisses = ds.DiskStateHits, ds.DiskStateMisses
+			s.StatePuts = ds.DiskStatePuts
 		} else {
 			// RAM misses that the disk tier absorbed are composite hits.
 			s.Hits += ds.DiskHits
 			s.Misses -= min64(s.Misses, ds.DiskHits)
+			s.StateHits += ds.DiskStateHits
+			s.StateMisses -= min64(s.StateMisses, ds.DiskStateHits)
 		}
 	}
 	return s

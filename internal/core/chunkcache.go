@@ -47,3 +47,15 @@ func chunkKeyPrefix(camera, maskID, schemeName, region, using string,
 func chunkKeySuffix(iv vtime.Interval) string {
 	return fmt.Sprintf("|%d-%d", iv.Start, iv.End)
 }
+
+// stateKey keys one partial aggregate state in the chunk cache: the
+// aggregation plan's versioned identity (rel.PartialPlan.ID) composed
+// with the chunk's full content-identity key. Two queries share a state
+// entry exactly when the same chunk content would feed the same fold —
+// same executable/contract (the chunk key) and same canonical
+// aggregation chain (the plan ID). Plan IDs start with their codec
+// version tag ("pps1|…") while table keys start with a quoted camera
+// name, so the two kinds can never collide in the shared store.
+func stateKey(planID, chunkKey string) string {
+	return planID + chunkKey
+}

@@ -93,7 +93,7 @@ func runProcessTable(t *testing.T, e *Engine, prog *query.Program) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := e.runProcess(prog.Processes[0], plan, nil)
+	inst, _, err := e.runProcess(prog.Processes[0], plan, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +445,7 @@ func TestCacheInvisibleToReleasesAndAccounting(t *testing.T) {
 	cachedEngine, cached := run(0)      // default-sized cache
 	uncachedEngine, uncached := run(-1) // disabled
 
-	if st := cachedEngine.CacheStats(); st.Hits == 0 {
+	if st := cachedEngine.CacheStats(); st.Hits == 0 && st.StateHits == 0 {
 		t.Fatalf("cached engine never hit: %+v", st)
 	}
 	for i := range cached {

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privid/internal/cache"
@@ -114,6 +115,14 @@ type Options struct {
 	// whole oldest segments are deleted to respect it). 0 uses
 	// DefaultDiskCacheBytes. Ignored when DiskCacheDir is empty.
 	DiskCacheBytes int64
+	// DisablePartialPushdown turns off aggregation pushdown: every
+	// PROCESS materializes its full intermediate table and every SELECT
+	// aggregates row-major, as before partial states existed. It exists
+	// as a benchmark baseline and a debugging escape hatch; leave it
+	// false in deployments. Pushdown never changes results — the
+	// streaming-merge path is differentially tested against the
+	// materialized path — only peak memory and warm-query latency.
+	DisablePartialPushdown bool
 	// StateDir enables the durable privacy ledger: every admitted
 	// charge is written to a write-ahead log under this directory and
 	// fsynced before the noised result is released, and Open recovers
@@ -187,6 +196,10 @@ type Engine struct {
 	// metrics are disabled).
 	metrics *obs.Registry
 	met     *engineMetrics
+
+	// Partial-aggregation pushdown tallies (atomic: the streaming shard
+	// workers bump them concurrently). See PartialAggStats.
+	ppPlans, ppDeclined, ppFolds, ppMerges, ppCachedChunks atomic.Uint64
 
 	mu      sync.Mutex
 	cameras map[string]*camera
@@ -447,6 +460,47 @@ func (e *Engine) FlightStats() cache.FlightStats {
 		return cache.FlightStats{}
 	}
 	return e.flight.Stats()
+}
+
+// PartialAggStats is a snapshot of the aggregation-pushdown counters:
+// how often PROCESS tables streamed into mergeable partial states
+// instead of materializing rows, and how much per-chunk work the
+// partial-state cache tier absorbed.
+type PartialAggStats struct {
+	// Plans counts pushdown plans built (one per eligible SELECT per
+	// PROCESS execution).
+	Plans uint64
+	// Declined counts PROCESS executions that had pushdown candidates
+	// but fell back to full materialization because at least one
+	// consuming SELECT was not mergeable.
+	Declined uint64
+	// Folds counts per-chunk fold operations (chunk table → partial
+	// state).
+	Folds uint64
+	// Merges counts partial-state merge operations.
+	Merges uint64
+	// CachedChunks counts chunks whose every plan's state came from the
+	// partial-state cache — no sandbox execution, no fold.
+	CachedChunks uint64
+	// StateHits/StateMisses/StatePuts are the partial-state cache
+	// tier's counters (per plan × chunk lookups, from the chunk cache).
+	StateHits, StateMisses, StatePuts uint64
+}
+
+// PartialStats returns a snapshot of the aggregation-pushdown counters.
+func (e *Engine) PartialStats() PartialAggStats {
+	s := PartialAggStats{
+		Plans:        e.ppPlans.Load(),
+		Declined:     e.ppDeclined.Load(),
+		Folds:        e.ppFolds.Load(),
+		Merges:       e.ppMerges.Load(),
+		CachedChunks: e.ppCachedChunks.Load(),
+	}
+	if e.chunkCache != nil {
+		cs := e.chunkCache.Stats()
+		s.StateHits, s.StateMisses, s.StatePuts = cs.StateHits, cs.StateMisses, cs.StatePuts
+	}
+	return s
 }
 
 // CameraInfo is the owner-visible description of one registered camera,

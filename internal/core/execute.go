@@ -199,17 +199,50 @@ func (e *Engine) executeStages(prog *query.Program, tag string, keep func(rel.Re
 	splitSp.End()
 	e.met.stage("split", time.Since(stageStart))
 
+	// Partial-aggregation pushdown: group the SELECTs by the one PROCESS
+	// table they reference. A table qualifies when every SELECT touching
+	// it touches nothing else (a JOIN or UNION partner forces the full
+	// materialized path for all tables involved); whether each candidate
+	// SELECT is actually mergeable is decided in runProcess, once the
+	// stamped schema and shard metadata exist.
+	pushCands := map[string][]*query.SelectStmt{}
+	if !e.opts.DisablePartialPushdown {
+		excluded := map[string]bool{}
+		for _, sel := range prog.Selects {
+			refs := rel.ReferencedTables(sel.From)
+			if len(refs) == 1 {
+				pushCands[refs[0]] = append(pushCands[refs[0]], sel)
+				continue
+			}
+			for _, r := range refs {
+				excluded[r] = true
+			}
+		}
+		for name := range excluded {
+			delete(pushCands, name)
+		}
+	}
+
 	stageStart = time.Now()
 	env := rel.Env{}
+	// pushedRels carries releases computed on the streaming-merge path,
+	// keyed by statement; the SELECT stage below consumes them in place
+	// of ExecuteSelect. A later PROCESS into the same table overwrites
+	// both the env entry and its statements' releases, matching the
+	// last-write-wins semantics the env always had.
+	pushedRels := map[*query.SelectStmt][]rel.Release{}
 	for _, st := range prog.Processes {
 		procSp := sp.Child("process")
 		procSp.Set("table", st.Into)
-		inst, err := e.runProcess(st, plans[st.Input], procSp)
+		inst, rels, err := e.runProcess(st, plans[st.Input], pushCands[st.Into], procSp)
 		procSp.End()
 		if err != nil {
 			return nil, err
 		}
 		env[st.Into] = inst
+		for sel, rs := range rels {
+			pushedRels[sel] = rs
+		}
 	}
 	e.met.stage("process", time.Since(stageStart))
 
@@ -223,9 +256,13 @@ func (e *Engine) executeStages(prog *query.Program, tag string, keep func(rel.Re
 	}
 	var pendings []pending
 	for _, st := range prog.Selects {
-		rels, err := rel.ExecuteSelect(st, env)
-		if err != nil {
-			return nil, err
+		rels, pushed := pushedRels[st]
+		if !pushed {
+			var err error
+			rels, err = rel.ExecuteSelect(st, env)
+			if err != nil {
+				return nil, err
+			}
 		}
 		epsDefault := e.opts.DefaultQueryEpsilon / float64(len(rels))
 		for _, r := range rels {
@@ -612,13 +649,26 @@ func (e *Engine) resolveShard(st *query.SplitStmt, camName string) (*splitShard,
 // Caching affects only how fast the table materializes — admission and
 // noise downstream never observe whether a row came from the sandbox
 // or the cache.
-func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, sp *obs.Span) (*rel.Instance, error) {
+//
+// When every consuming SELECT of the table is a mergeable aggregation
+// (cands, pre-grouped by executeStages; rel.PlanPartial accepts each),
+// runProcess takes the streaming-merge path instead: each shard folds
+// chunk blocks into per-plan partial states as they arrive and the
+// full intermediate table is never materialized — peak memory scales
+// with groups × cameras, not rows. The finalized releases are returned
+// alongside an empty (schema- and metadata-correct) instance; they are
+// differentially tested to match ExecuteSelect over the materialized
+// table exactly. Per-chunk states are additionally memoized in the
+// chunk cache's partial-state tier keyed on chunk content × plan
+// identity, so a warm repeated or overlapping-window query skips both
+// the sandbox and the per-chunk fold.
+func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, cands []*query.SelectStmt, sp *obs.Span) (*rel.Instance, map[*query.SelectStmt][]rel.Release, error) {
 	if plan == nil || len(plan.shards) == 0 {
-		return nil, fmt.Errorf("core: PROCESS input %q has no SPLIT", st.Input)
+		return nil, nil, fmt.Errorf("core: PROCESS input %q has no SPLIT", st.Input)
 	}
 	fn, ok := e.registry.Lookup(st.Using)
 	if !ok {
-		return nil, fmt.Errorf("core: executable %q not registered", st.Using)
+		return nil, nil, fmt.Errorf("core: executable %q not registered", st.Using)
 	}
 	cols := make([]table.Column, len(st.Schema))
 	for i, c := range st.Schema {
@@ -626,7 +676,7 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, sp *obs.Span
 	}
 	schema, err := table.NewSchema(cols...)
 	if err != nil {
-		return nil, fmt.Errorf("core: PROCESS schema: %w", err)
+		return nil, nil, fmt.Errorf("core: PROCESS schema: %w", err)
 	}
 	// The executor always runs with a positive timeout. The parser
 	// guarantees st.Timeout > 0 for parsed programs; programmatically
@@ -647,13 +697,109 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, sp *obs.Span
 
 	hasRegion := plan.shards[0].regions > 0
 	full := schema.WithImplicitCols(hasRegion, plan.multi)
-	data := table.New(full)
+
+	// Shard metadata is derived entirely from the resolved plan — build
+	// it up front so pushdown planning can see the same sensitivity
+	// inputs ExecuteSelect would.
+	metas := make([]rel.TableMeta, len(plan.shards))
+	for i, sh := range plan.shards {
+		info := sh.cam.cfg.Source.Info()
+		clock := info.Clock()
+		metas[i] = rel.TableMeta{
+			Name:            st.Into,
+			Camera:          sh.cam.cfg.Name,
+			MaxRows:         st.MaxRows,
+			ChunkFrames:     sh.chunkF,
+			StrideFrames:    sh.strideF,
+			FPS:             info.FPS,
+			NumChunks:       sh.splits[0].NumChunks(),
+			Begin:           clock.TimeOf(sh.interval.Start),
+			End:             clock.TimeOf(sh.interval.End),
+			Policy:          sh.pol,
+			Regions:         sh.regions,
+			RegionsPerEvent: sh.regionsPerEvent,
+		}
+	}
+
+	// Pushdown decision: every candidate SELECT must plan as a mergeable
+	// aggregation, else the whole table falls back to materialization
+	// (a single table cannot be both streamed and materialized).
+	var push *shardPushdown
+	if len(cands) > 0 {
+		pplans := make([]*rel.PartialPlan, 0, len(cands))
+		for _, sel := range cands {
+			pp := rel.PlanPartial(sel, st.Into, full, metas)
+			if pp == nil {
+				pplans = nil
+				break
+			}
+			pplans = append(pplans, pp)
+		}
+		if pplans != nil {
+			e.ppPlans.Add(uint64(len(pplans)))
+			ids := make([]string, len(pplans))
+			for i, pp := range pplans {
+				ids[i] = pp.ID()
+			}
+			push = &shardPushdown{plans: pplans, ids: ids}
+			sp.Set("pushdown_plans", len(pplans))
+		} else {
+			e.ppDeclined.Add(1)
+		}
+	}
 
 	shardPar := e.opts.Parallelism
 	if len(plan.shards) > 1 {
 		shardPar = e.opts.PerCameraParallelism
 	}
 
+	if push != nil {
+		// Streaming-merge path: per-shard fold, then a deterministic
+		// merge in shard-index order (merge order cannot matter — the
+		// property tests pin that — but determinism costs nothing).
+		states := make([][]*rel.PartialState, len(plan.shards))
+		errs := make([]error, len(plan.shards))
+		if len(plan.shards) == 1 || e.opts.SerialShards {
+			for i, sh := range plan.shards {
+				states[i], errs[i] = e.runShardStreaming(sh, st, exec, schema, full, hasRegion, plan.multi, shardPar, push, sp)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i, sh := range plan.shards {
+				wg.Add(1)
+				go func(i int, sh *splitShard) {
+					defer wg.Done()
+					states[i], errs[i] = e.runShardStreaming(sh, st, exec, schema, full, hasRegion, plan.multi, shardPar, push, sp)
+				}(i, sh)
+			}
+			wg.Wait()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		agg := make([]*rel.PartialState, len(push.plans))
+		for p, pp := range push.plans {
+			agg[p] = pp.NewState()
+		}
+		for _, ss := range states {
+			for p, pp := range push.plans {
+				pp.Merge(agg[p], ss[p])
+				e.ppMerges.Add(1)
+			}
+		}
+		rels := make(map[*query.SelectStmt][]rel.Release, len(cands))
+		for p, sel := range cands {
+			rels[sel] = push.plans[p].Finalize(agg[p])
+		}
+		// The env still gets an instance with the right schema and shard
+		// metadata, but no rows: every SELECT over this table is answered
+		// from the merged states above.
+		return rel.NewInstance(table.New(full), metas...), rels, nil
+	}
+
+	data := table.New(full)
 	if len(plan.shards) == 1 || e.opts.SerialShards {
 		for _, sh := range plan.shards {
 			data.AppendTable(e.runShard(sh, st, exec, schema, full, hasRegion, plan.multi, shardPar, sp))
@@ -691,26 +837,291 @@ func (e *Engine) runProcess(st *query.ProcessStmt, plan *splitPlan, sp *obs.Span
 		}
 	}
 
-	metas := make([]rel.TableMeta, len(plan.shards))
-	for i, sh := range plan.shards {
-		info := sh.cam.cfg.Source.Info()
-		clock := info.Clock()
-		metas[i] = rel.TableMeta{
-			Name:            st.Into,
-			Camera:          sh.cam.cfg.Name,
-			MaxRows:         st.MaxRows,
-			ChunkFrames:     sh.chunkF,
-			StrideFrames:    sh.strideF,
-			FPS:             info.FPS,
-			NumChunks:       sh.splits[0].NumChunks(),
-			Begin:           clock.TimeOf(sh.interval.Start),
-			End:             clock.TimeOf(sh.interval.End),
-			Policy:          sh.pol,
-			Regions:         sh.regions,
-			RegionsPerEvent: sh.regionsPerEvent,
+	return rel.NewInstance(data, metas...), nil, nil
+}
+
+// shardPushdown carries one PROCESS table's pushdown plans into the
+// shard workers: the mergeable plan per candidate SELECT plus its
+// precomputed identity (the partial-state cache key prefix).
+type shardPushdown struct {
+	plans []*rel.PartialPlan
+	ids   []string
+}
+
+// shardTallies accumulates one shard's per-chunk counters in atomics
+// (the chunk workers run concurrently); they land on the shard span
+// once, keeping the span's mutex off the per-chunk hot path.
+type shardTallies struct {
+	hits, misses, sandboxNanos           atomic.Int64
+	sfFollowers, sfHandoffs, sfAbandoned atomic.Int64
+	stateChunks, folds                   atomic.Int64
+}
+
+// spanTallies lands the accumulated counters on a shard span.
+func (e *Engine) spanTallies(ssp *obs.Span, tl *shardTallies) {
+	if ssp == nil {
+		return
+	}
+	if e.chunkCache != nil {
+		ssp.Add("cache_hits", float64(tl.hits.Load()))
+		ssp.Add("cache_misses", float64(tl.misses.Load()))
+		// Chunks this shard did not execute because a concurrent
+		// miss elsewhere led the same key (plus the failure modes:
+		// promotions after a failed leader, waits abandoned after
+		// flightWaitMultiple×TIMEOUT).
+		if n := tl.sfFollowers.Load(); n > 0 {
+			ssp.Add("singleflight_followers", float64(n))
+		}
+		if n := tl.sfHandoffs.Load(); n > 0 {
+			ssp.Add("singleflight_handoffs", float64(n))
+		}
+		if n := tl.sfAbandoned.Load(); n > 0 {
+			ssp.Add("singleflight_abandoned", float64(n))
+		}
+		// Chunks whose every plan's partial state came from the cache —
+		// no sandbox execution and no fold.
+		if n := tl.stateChunks.Load(); n > 0 {
+			ssp.Add("partial_state_chunks", float64(n))
 		}
 	}
-	return rel.NewInstance(data, metas...), nil
+	if n := tl.folds.Load(); n > 0 {
+		ssp.Add("partial_folds", float64(n))
+	}
+	ssp.Add("sandbox_seconds", time.Duration(tl.sandboxNanos.Load()).Seconds())
+}
+
+// fetchChunkBlock obtains one chunk's block in the declared schema —
+// from the table cache, a singleflight peer, or a sandbox execution —
+// and reports whether the block is clean (cache hits and shared
+// results always are; an execution is clean unless the sandbox
+// substituted fallback rows). key is empty exactly when the chunk
+// cache is disabled.
+func (e *Engine) fetchChunkBlock(key string, chunk *video.Chunk, exec sandbox.Executor, tl *shardTallies) (*table.Table, bool) {
+	// execChunk is one raw sandbox execution: acquire a slot, run the
+	// executable, return the chunk's block in the declared schema and
+	// whether it completed cleanly.
+	execChunk := func() (*table.Table, bool) {
+		// The engine-wide semaphore keeps the total number of
+		// in-flight sandbox executions — across every query
+		// running concurrently — at Parallelism, so serving
+		// many analysts cannot oversubscribe the CPU and push
+		// executables past their wall-clock TIMEOUT.
+		//
+		// The slot is released when the executable goroutine
+		// exits (on a timeout that is later than RunChecked's
+		// return, so a slow executable cannot be double-booked)
+		// — except that a hung executable forfeits its slot
+		// after a grace period, so one non-terminating
+		// ProcessFunc degrades to a bounded CPU leak instead of
+		// permanently wedging every analyst's queries.
+		e.procSem <- struct{}{}
+		var once sync.Once
+		var released atomic.Bool
+		release := func() {
+			once.Do(func() {
+				released.Store(true)
+				<-e.procSem
+			})
+		}
+		runExec := exec
+		runExec.Done = release
+		execStart := time.Now()
+		rows, clean := runExec.RunChecked(chunk)
+		execDur := time.Since(execStart)
+		e.met.sandbox(execDur, clean)
+		tl.sandboxNanos.Add(int64(execDur))
+		// Arm the grace backstop only when the slot is still
+		// held — a panic's goroutine has already exited and
+		// released, so it needs no timer. (A release racing
+		// this check just leaves one harmless no-op timer.)
+		// exec.Timeout is always positive (runProcess substitutes
+		// the default for TIMEOUT-less programmatic statements), so
+		// the backstop can always arm.
+		if !clean && !released.Load() {
+			time.AfterFunc(slotGraceMultiple*exec.Timeout, release)
+		}
+		return table.FromRows(exec.Schema, rows), clean
+	}
+	if e.chunkCache == nil {
+		return execChunk()
+	}
+	if blk, ok := e.chunkCache.Get(key); ok {
+		tl.hits.Add(1)
+		return blk, true
+	}
+	tl.misses.Add(1)
+	// Coalesce concurrent misses on this key onto one sandbox
+	// execution: the leader executes and publishes, followers
+	// share the frozen block by pointer.
+	blk, clean, outcome := e.flight.Do(key, flightWaitMultiple*exec.Timeout, func() (*table.Table, bool) {
+		// Re-check the cache under flight leadership: a clean
+		// result published between this goroutine's miss above
+		// and its Do call is in the cache by now (leaders cache
+		// before dissolving the flight), and must not be
+		// re-executed. Peek, not Get — the miss was already
+		// counted above, and this internal re-check must not
+		// distort the analyst-visible hit rate.
+		if blk, ok := e.chunkCache.Peek(key); ok {
+			return blk, true
+		}
+		blk, clean := execChunk()
+		// Timeout/panic fallback rows depend on machine load,
+		// not on the chunk; caching them would poison every
+		// later query over this chunk with default rows. The
+		// flight applies the same rule: an unclean result is
+		// never published to followers (leadership is handed
+		// off instead).
+		if clean {
+			e.chunkCache.Put(key, blk) // freezes blk
+		}
+		return blk, clean
+	})
+	switch outcome {
+	case cache.Shared:
+		tl.sfFollowers.Add(1)
+	case cache.Handoff:
+		tl.sfHandoffs.Add(1)
+	case cache.Abandoned:
+		tl.sfAbandoned.Add(1)
+	}
+	return blk, clean
+}
+
+// runShardStreaming is runShard's pushdown counterpart: instead of
+// materializing the shard's stamped rows it folds every chunk into one
+// partial state per plan and returns the shard's merged states (index-
+// aligned with push.plans). Chunks whose every plan state is in the
+// partial-state cache skip the sandbox and the fold entirely. The only
+// error path is a fold failure, which PlanPartial's static checks make
+// unreachable; it is propagated rather than swallowed so a planner bug
+// turns into a query error, never a wrong release.
+func (e *Engine) runShardStreaming(sh *splitShard, st *query.ProcessStmt, exec sandbox.Executor,
+	schema, full table.Schema, hasRegion, multi bool, par int, push *shardPushdown, psp *obs.Span) ([]*rel.PartialState, error) {
+	camName := sh.cam.cfg.Name
+	camVal := table.S(camName)
+	tl := &shardTallies{}
+	ssp := psp.Child("shard")
+	defer ssp.End()
+	if ssp != nil {
+		ssp.Set("camera", camName)
+		ssp.Set("mode", "pushdown")
+		chunks := 0
+		for _, split := range sh.splits {
+			chunks += len(split.ActiveChunks())
+		}
+		ssp.Set("chunks", chunks)
+	}
+	shard := make([]*rel.PartialState, len(push.plans))
+	for p, pp := range push.plans {
+		shard[p] = pp.NewState()
+	}
+	for _, split := range sh.splits {
+		ords := split.ActiveChunks()
+		stateByOrd := make([][]*rel.PartialState, len(ords))
+		errByOrd := make([]error, len(ords))
+		var keyPrefix string
+		if e.chunkCache != nil {
+			keyPrefix = chunkKeyPrefix(
+				camName, sh.maskID, sh.schemeName,
+				split.Region, st.Using, st.Timeout, st.MaxRows, schema,
+				sh.chunkF, sh.strideF)
+		}
+		process := func(i int) {
+			chunk := split.ChunkAt(ords[i])
+			var chunkKey string
+			if e.chunkCache != nil {
+				chunkKey = keyPrefix + chunkKeySuffix(chunk.Interval)
+				// Warm path: every plan's state for this chunk is
+				// cached — no sandbox execution, no fold.
+				states := make([]*rel.PartialState, len(push.plans))
+				okAll := true
+				for p := range push.plans {
+					raw, ok := e.chunkCache.GetRaw(stateKey(push.ids[p], chunkKey))
+					if !ok {
+						okAll = false
+						break
+					}
+					dec, err := rel.DecodePartialState(raw)
+					if err != nil || !push.plans[p].Compatible(dec) {
+						// Bit rot or a stale incompatible entry; fall
+						// through to the fold path, which overwrites it.
+						okAll = false
+						break
+					}
+					states[p] = dec
+				}
+				if okAll {
+					tl.stateChunks.Add(1)
+					e.ppCachedChunks.Add(1)
+					stateByOrd[i] = states
+					return
+				}
+			}
+			blk, clean := e.fetchChunkBlock(chunkKey, chunk, exec, tl)
+			// Stamp the implicit columns onto a per-chunk mini-table so
+			// the fold sees exactly the rows this chunk contributes to
+			// the materialized table (same consts, same order).
+			consts := make([]table.Value, 0, 3)
+			consts = append(consts, table.N(float64(chunk.Start.Unix())))
+			if hasRegion {
+				consts = append(consts, table.S(split.Region))
+			}
+			if multi {
+				consts = append(consts, camVal)
+			}
+			mini := table.New(full)
+			mini.AppendBlock(blk, consts...)
+			states := make([]*rel.PartialState, len(push.plans))
+			for p, pp := range push.plans {
+				ps, err := pp.Partial(mini, camName)
+				if err != nil {
+					errByOrd[i] = err
+					return
+				}
+				tl.folds.Add(1)
+				e.ppFolds.Add(1)
+				if clean && e.chunkCache != nil {
+					// Memoize only clean executions' states, mirroring
+					// the table tier's fallback-row rule.
+					e.chunkCache.PutRaw(stateKey(push.ids[p], chunkKey), ps.EncodeBinary())
+				}
+				states[p] = ps
+			}
+			stateByOrd[i] = states
+		}
+		if par > 1 && len(ords) > 1 {
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, par)
+			for i := range ords {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					process(i)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := range ords {
+				process(i)
+			}
+		}
+		for i := range ords {
+			if errByOrd[i] != nil {
+				return nil, fmt.Errorf("core: partial fold of chunk %d: %w", ords[i], errByOrd[i])
+			}
+			for p, pp := range push.plans {
+				pp.Merge(shard[p], stateByOrd[i][p])
+				e.ppMerges.Add(1)
+			}
+		}
+	}
+	e.spanTallies(ssp, tl)
+	if ssp != nil {
+		ssp.Set("rows", int(shard[0].Rows))
+	}
+	return shard, nil
 }
 
 // runShard executes the analyst's executable over every chunk of one
@@ -725,11 +1136,7 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 	out := table.New(full)
 	camName := sh.cam.cfg.Name
 	camVal := table.S(camName)
-	// Per-chunk tallies accumulate in shard-local atomics (the chunk
-	// workers run concurrently) and land on the span once per shard,
-	// keeping the span's mutex off the per-chunk hot path.
-	var hits, misses, sandboxNanos atomic.Int64
-	var sfFollowers, sfHandoffs, sfAbandoned atomic.Int64
+	tl := &shardTallies{}
 	ssp := psp.Child("shard")
 	defer ssp.End()
 	if ssp != nil {
@@ -753,99 +1160,13 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 				split.Region, st.Using, st.Timeout, st.MaxRows, schema,
 				sh.chunkF, sh.strideF)
 		}
-		// execChunk is one raw sandbox execution: acquire a slot, run
-		// the executable, return the chunk's block in the declared
-		// schema and whether it completed cleanly.
-		execChunk := func(chunk *video.Chunk) (*table.Table, bool) {
-			// The engine-wide semaphore keeps the total number of
-			// in-flight sandbox executions — across every query
-			// running concurrently — at Parallelism, so serving
-			// many analysts cannot oversubscribe the CPU and push
-			// executables past their wall-clock TIMEOUT.
-			//
-			// The slot is released when the executable goroutine
-			// exits (on a timeout that is later than RunChecked's
-			// return, so a slow executable cannot be double-booked)
-			// — except that a hung executable forfeits its slot
-			// after a grace period, so one non-terminating
-			// ProcessFunc degrades to a bounded CPU leak instead of
-			// permanently wedging every analyst's queries.
-			e.procSem <- struct{}{}
-			var once sync.Once
-			var released atomic.Bool
-			release := func() {
-				once.Do(func() {
-					released.Store(true)
-					<-e.procSem
-				})
-			}
-			runExec := exec
-			runExec.Done = release
-			execStart := time.Now()
-			rows, clean := runExec.RunChecked(chunk)
-			execDur := time.Since(execStart)
-			e.met.sandbox(execDur, clean)
-			sandboxNanos.Add(int64(execDur))
-			// Arm the grace backstop only when the slot is still
-			// held — a panic's goroutine has already exited and
-			// released, so it needs no timer. (A release racing
-			// this check just leaves one harmless no-op timer.)
-			// exec.Timeout is always positive (runProcess substitutes
-			// the default for TIMEOUT-less programmatic statements), so
-			// the backstop can always arm.
-			if !clean && !released.Load() {
-				time.AfterFunc(slotGraceMultiple*exec.Timeout, release)
-			}
-			return table.FromRows(schema, rows), clean
-		}
 		process := func(i int) {
 			chunk := split.ChunkAt(ords[i])
-			if e.chunkCache == nil {
-				blk, _ := execChunk(chunk)
-				blockByOrd[i] = blk
-				return
+			var key string
+			if e.chunkCache != nil {
+				key = keyPrefix + chunkKeySuffix(chunk.Interval)
 			}
-			key := keyPrefix + chunkKeySuffix(chunk.Interval)
-			if blk, ok := e.chunkCache.Get(key); ok {
-				hits.Add(1)
-				blockByOrd[i] = blk
-				return
-			}
-			misses.Add(1)
-			// Coalesce concurrent misses on this key onto one sandbox
-			// execution: the leader executes and publishes, followers
-			// share the frozen block by pointer.
-			blk, _, outcome := e.flight.Do(key, flightWaitMultiple*exec.Timeout, func() (*table.Table, bool) {
-				// Re-check the cache under flight leadership: a clean
-				// result published between this goroutine's miss above
-				// and its Do call is in the cache by now (leaders cache
-				// before dissolving the flight), and must not be
-				// re-executed. Peek, not Get — the miss was already
-				// counted above, and this internal re-check must not
-				// distort the analyst-visible hit rate.
-				if blk, ok := e.chunkCache.Peek(key); ok {
-					return blk, true
-				}
-				blk, clean := execChunk(chunk)
-				// Timeout/panic fallback rows depend on machine load,
-				// not on the chunk; caching them would poison every
-				// later query over this chunk with default rows. The
-				// flight applies the same rule: an unclean result is
-				// never published to followers (leadership is handed
-				// off instead).
-				if clean {
-					e.chunkCache.Put(key, blk) // freezes blk
-				}
-				return blk, clean
-			})
-			switch outcome {
-			case cache.Shared:
-				sfFollowers.Add(1)
-			case cache.Handoff:
-				sfHandoffs.Add(1)
-			case cache.Abandoned:
-				sfAbandoned.Add(1)
-			}
+			blk, _ := e.fetchChunkBlock(key, chunk, exec, tl)
 			blockByOrd[i] = blk
 		}
 		if par > 1 && len(ords) > 1 {
@@ -880,25 +1201,8 @@ func (e *Engine) runShard(sh *splitShard, st *query.ProcessStmt, exec sandbox.Ex
 			out.AppendBlock(blk, consts...)
 		}
 	}
+	e.spanTallies(ssp, tl)
 	if ssp != nil {
-		if e.chunkCache != nil {
-			ssp.Add("cache_hits", float64(hits.Load()))
-			ssp.Add("cache_misses", float64(misses.Load()))
-			// Chunks this shard did not execute because a concurrent
-			// miss elsewhere led the same key (plus the failure modes:
-			// promotions after a failed leader, waits abandoned after
-			// flightWaitMultiple×TIMEOUT).
-			if n := sfFollowers.Load(); n > 0 {
-				ssp.Add("singleflight_followers", float64(n))
-			}
-			if n := sfHandoffs.Load(); n > 0 {
-				ssp.Add("singleflight_handoffs", float64(n))
-			}
-			if n := sfAbandoned.Load(); n > 0 {
-				ssp.Add("singleflight_abandoned", float64(n))
-			}
-		}
-		ssp.Add("sandbox_seconds", time.Duration(sandboxNanos.Load()).Seconds())
 		ssp.Set("rows", out.Len())
 	}
 	return out

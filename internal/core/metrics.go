@@ -186,6 +186,35 @@ func (e *Engine) registerCollectors(reg *obs.Registry) {
 		"Chunk-result cache resident bytes.", obs.TypeGauge, nil,
 		cacheStat(func() float64 { return float64(e.CacheStats().Bytes) }))
 
+	reg.CollectFunc("privid_partial_agg_plans_total",
+		"Aggregation-pushdown plans built (one per mergeable SELECT per PROCESS execution).",
+		obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.PartialStats().Plans) }))
+	reg.CollectFunc("privid_partial_agg_declined_total",
+		"PROCESS executions with pushdown candidates that fell back to full materialization.",
+		obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.PartialStats().Declined) }))
+	reg.CollectFunc("privid_partial_agg_folds_total",
+		"Per-chunk folds of sandbox output into partial aggregate states.",
+		obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.PartialStats().Folds) }))
+	reg.CollectFunc("privid_partial_agg_merges_total",
+		"Partial aggregate state merges.", obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.PartialStats().Merges) }))
+	reg.CollectFunc("privid_partial_agg_chunks_cached_total",
+		"Chunks answered entirely from the partial-state cache tier (no sandbox, no fold).",
+		obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.PartialStats().CachedChunks) }))
+	reg.CollectFunc("privid_partial_agg_state_hits_total",
+		"Partial-state cache hits (per plan × chunk lookups).", obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.PartialStats().StateHits) }))
+	reg.CollectFunc("privid_partial_agg_state_misses_total",
+		"Partial-state cache misses.", obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.PartialStats().StateMisses) }))
+	reg.CollectFunc("privid_partial_agg_state_puts_total",
+		"Partial-state cache stores.", obs.TypeCounter, nil,
+		cacheStat(func() float64 { return float64(e.PartialStats().StatePuts) }))
+
 	if e.flight != nil {
 		reg.CollectFunc("privid_chunk_singleflight_leaders_total",
 			"Chunk executions performed under singleflight leadership (initial leaders plus promoted followers).",

@@ -57,7 +57,7 @@ func TestMultiCameraProvenanceColumn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := e.runProcess(prog.Processes[0], plan, nil)
+	inst, _, err := e.runProcess(prog.Processes[0], plan, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestMultiCameraProvenanceColumn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sInst, err := e.runProcess(single.Processes[0], sPlan, nil)
+	sInst, _, err := e.runProcess(single.Processes[0], sPlan, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestShardedMatchesSerialTables(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		inst, err := e.runProcess(prog.Processes[0], plan, nil)
+		inst, _, err := e.runProcess(prog.Processes[0], plan, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -357,16 +357,19 @@ SELECT COUNT(*) FROM t CONSUMING 0.001;`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := e.CacheStats(); st.Hits != 0 {
+	if st := e.CacheStats(); st.Hits != 0 || st.StateHits != 0 {
 		t.Fatalf("cold run hit the cache: %+v", st)
 	}
 	r2, err := e.Execute(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// COUNT(*) pushes down, so the warm rerun is served entirely from
+	// the partial-state tier: one state hit per (chunk, plan) across
+	// both shards, never touching the table tier.
 	st := e.CacheStats()
-	if st.Misses != st.Puts || st.Hits != st.Misses {
-		t.Errorf("warm rerun should hit every chunk of both shards: %+v", st)
+	if st.StateMisses != st.StatePuts || st.StateHits != st.StateMisses || st.StateHits == 0 {
+		t.Errorf("warm rerun should hit every chunk state of both shards: %+v", st)
 	}
 	// 3 vs 7 entrants: the two cameras genuinely differ, so a key
 	// collision between shards would corrupt the count.

@@ -184,7 +184,11 @@ func TestEngineMetricsExposition(t *testing.T) {
 		`privid_camera_epsilon_budget{camera="camA"} 10`,
 		`privid_camera_epsilon_remaining{camera="camC"} 9.6`,
 		`privid_chunk_cache_misses_total 180`,
-		`privid_chunk_cache_hits_total 180`,
+		`privid_chunk_cache_hits_total 0`,
+		`privid_partial_agg_plans_total 2`,
+		`privid_partial_agg_folds_total 180`,
+		`privid_partial_agg_state_hits_total 180`,
+		`privid_partial_agg_state_puts_total 180`,
 		`privid_query_stage_seconds_bucket{stage="process",le="+Inf"} 2`,
 		`privid_sandbox_inflight 0`,
 		"# TYPE privid_query_seconds histogram",

@@ -98,15 +98,17 @@ func TestSingleflightConcurrentColdQueries(t *testing.T) {
 	}
 
 	// Flow accounting: each of the 80 chunk lookups resolved as
-	// exactly one of cache hit, singleflight follower, or singleflight
-	// leader (leaders that found the block already published re-served
-	// it from the cache without executing). Nothing failed, so no
-	// handoffs and no abandoned waits.
+	// exactly one of partial-state hit (the COUNT(*) pushes down, so a
+	// worker arriving after another folded the chunk skips the sandbox
+	// path entirely), table cache hit, singleflight follower, or
+	// singleflight leader (leaders that found the block already
+	// published re-served it from the cache without executing).
+	// Nothing failed, so no handoffs and no abandoned waits.
 	fs := e.FlightStats()
-	hits := e.CacheStats().Hits
-	if hits+fs.Followers+fs.Leaders != workers*chunks {
-		t.Errorf("hits(%d) + followers(%d) + leaders(%d) != %d lookups",
-			hits, fs.Followers, fs.Leaders, workers*chunks)
+	cs := e.CacheStats()
+	if cs.Hits+cs.StateHits+fs.Followers+fs.Leaders != workers*chunks {
+		t.Errorf("hits(%d) + stateHits(%d) + followers(%d) + leaders(%d) != %d lookups",
+			cs.Hits, cs.StateHits, fs.Followers, fs.Leaders, workers*chunks)
 	}
 	if fs.Followers == 0 {
 		t.Errorf("no followers despite 8 overlapping cold queries")

@@ -31,9 +31,12 @@ func TestE2EDiskCacheSurvivesRestart(t *testing.T) {
 	if job := h.SubmitWait("alice", CountQuery(0, 2, 0)); job.State != "done" {
 		t.Fatalf("post-restart query failed: %s", job.Error)
 	}
+	// COUNT pushes down, so the repeat is served from the disk tier's
+	// partial-state entries — the persisted per-chunk aggregate states
+	// survive the restart just like the persisted tables do.
 	cs = h.Engine.CacheStats()
-	if cs.DiskHits != 4 || cs.DiskMisses != 0 {
-		t.Fatalf("post-restart stats = %+v, want 4 disk hits, 0 misses", cs)
+	if cs.DiskStateHits != 4 || cs.DiskStateMisses != 0 || cs.DiskMisses != 0 {
+		t.Fatalf("post-restart stats = %+v, want 4 disk state hits, 0 misses", cs)
 	}
 	// Ground truth that no executable ran: the sandbox counters of the
 	// restarted engine are still zero.
@@ -42,9 +45,13 @@ func TestE2EDiskCacheSurvivesRestart(t *testing.T) {
 		t.Fatalf("sandbox ran after restart despite a warm disk cache:\n%s",
 			grepLines(out, "privid_sandbox_runs_total"))
 	}
-	// Tier-2 gauges are exported when the disk tier is configured.
-	if !strings.Contains(out, "privid_chunk_cache_disk_hits_total 4") {
+	// Tier-2 gauges are exported when the disk tier is configured, and
+	// the state hits show up in the pushdown counters.
+	if !strings.Contains(out, "privid_chunk_cache_disk_segments 1") {
 		t.Fatalf("disk-tier metrics missing:\n%s", grepLines(out, "privid_chunk_cache"))
+	}
+	if !strings.Contains(out, "privid_partial_agg_state_hits_total 4") {
+		t.Fatalf("partial-state metrics missing:\n%s", grepLines(out, "privid_partial_agg"))
 	}
 }
 
@@ -62,19 +69,21 @@ func TestE2ETieredPromotionOverHTTP(t *testing.T) {
 	if job := h.SubmitWait("alice", CountQuery(0, 2, 0)); job.State != "done" {
 		t.Fatalf("promoting query failed: %s", job.Error)
 	}
+	// The pushed-down COUNT is served from the disk tier's partial
+	// states, which promote into RAM exactly like tables.
 	cs := h.Engine.CacheStats()
-	if cs.DiskHits != 4 || cs.Promotions != 4 {
-		t.Fatalf("stats after promotion = %+v, want 4 disk hits promoted", cs)
+	if cs.DiskStateHits != 4 || cs.Promotions != 4 {
+		t.Fatalf("stats after promotion = %+v, want 4 disk state hits promoted", cs)
 	}
 	if job := h.SubmitWait("alice", CountQuery(0, 2, 0)); job.State != "done" {
 		t.Fatalf("RAM-hit query failed: %s", job.Error)
 	}
 	after := h.Engine.CacheStats()
-	if after.DiskHits != 4 {
-		t.Fatalf("disk hits grew to %d; promoted entries must be served from RAM", after.DiskHits)
+	if after.DiskStateHits != 4 {
+		t.Fatalf("disk state hits grew to %d; promoted entries must be served from RAM", after.DiskStateHits)
 	}
-	if after.Hits <= cs.Hits {
-		t.Fatalf("no RAM hits recorded: %+v", after)
+	if after.StateHits <= cs.StateHits {
+		t.Fatalf("no RAM state hits recorded: %+v", after)
 	}
 }
 

@@ -212,6 +212,11 @@ func ExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		}
 		out = append(out, withWindows(r, spans, only))
 	}
+	// Release order is part of the engine's determinism contract: the
+	// seeded noise stream is consumed in release order, so it must not
+	// depend on how chunks happened to concatenate. Sort by group key,
+	// exactly as the streaming-merge Finalize does.
+	sortReleases(out)
 	return out, nil
 }
 

@@ -767,5 +767,8 @@ func oracleExecuteSelect(st *query.SelectStmt, env Env) ([]Release, error) {
 		}
 		out = append(out, withWindows(r, spans, only))
 	}
+	// Keep the oracle's release order aligned with the production paths
+	// (both sort keyed releases by group key).
+	sortReleases(out)
 	return out, nil
 }

@@ -1,0 +1,207 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary partial-state codec (version 1), the cache/wire form of a
+// PartialState — the unit the chunk cache's partial-state tier stores
+// and the shape a future distributed shard would ship instead of a full
+// table. Layout, little-endian:
+//
+//	4B magic "PPS1"
+//	u8  flags (bit 0: sums present)
+//	u32 nslots
+//	per slot: i64 count
+//	if sums: per slot, 8B IEEE-754 float
+//	i64 rows | i64 chunks
+//	u16 ncams
+//	per camera (sorted by name): u16 len(name) | name | i64 rows
+//
+// Encoding is deterministic (camera keys sorted) and decoding never
+// panics: every length is validated against the remaining input, so the
+// disk tier can feed it torn or corrupted payloads.
+
+var partialMagic = [4]byte{'P', 'P', 'S', '1'}
+
+// EncodeBinary serializes the state.
+func (s *PartialState) EncodeBinary() []byte {
+	n := len(s.Counts)
+	size := 4 + 1 + 4 + 8*n + 16 + 2
+	if s.Sums != nil {
+		size += 8 * n
+	}
+	for cam := range s.CamRows {
+		size += 2 + len(cam) + 8
+	}
+	b := make([]byte, 0, size)
+	b = append(b, partialMagic[:]...)
+	var flags byte
+	if s.Sums != nil {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	for _, c := range s.Counts {
+		b = binary.LittleEndian.AppendUint64(b, uint64(c))
+	}
+	if s.Sums != nil {
+		for _, v := range s.Sums {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Rows))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.Chunks))
+	cams := make([]string, 0, len(s.CamRows))
+	for cam := range s.CamRows {
+		cams = append(cams, cam)
+	}
+	sort.Strings(cams)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(cams)))
+	for _, cam := range cams {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(cam)))
+		b = append(b, cam...)
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.CamRows[cam]))
+	}
+	return b
+}
+
+type stateDecoder struct {
+	b   []byte
+	off int
+}
+
+func (d *stateDecoder) remaining() int { return len(d.b) - d.off }
+
+func (d *stateDecoder) u8() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("rel: truncated partial state")
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *stateDecoder) u16() (uint16, error) {
+	if d.remaining() < 2 {
+		return 0, fmt.Errorf("rel: truncated partial state")
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *stateDecoder) u32() (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, fmt.Errorf("rel: truncated partial state")
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *stateDecoder) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("rel: truncated partial state")
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *stateDecoder) str(n int) (string, error) {
+	if n < 0 || d.remaining() < n {
+		return "", fmt.Errorf("rel: truncated partial state")
+	}
+	v := string(d.b[d.off : d.off+n])
+	d.off += n
+	return v, nil
+}
+
+// DecodePartialState deserializes a state encoded by EncodeBinary. It
+// never panics on malformed input and bounds every allocation by the
+// input length.
+func DecodePartialState(raw []byte) (*PartialState, error) {
+	d := &stateDecoder{b: raw}
+	magic, err := d.str(4)
+	if err != nil {
+		return nil, err
+	}
+	if magic != string(partialMagic[:]) {
+		return nil, fmt.Errorf("rel: bad partial-state magic %q", magic)
+	}
+	flags, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^1 != 0 {
+		return nil, fmt.Errorf("rel: unknown partial-state flags %#x", flags)
+	}
+	nslots, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	perSlot := 8
+	if flags&1 != 0 {
+		perSlot = 16
+	}
+	if int(nslots) > d.remaining()/perSlot {
+		return nil, fmt.Errorf("rel: slot count %d exceeds payload", nslots)
+	}
+	s := &PartialState{Counts: make([]int64, nslots)}
+	for i := range s.Counts {
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		s.Counts[i] = int64(v)
+	}
+	if flags&1 != 0 {
+		s.Sums = make([]float64, nslots)
+		for i := range s.Sums {
+			v, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			s.Sums[i] = math.Float64frombits(v)
+		}
+	}
+	rows, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	s.Rows, s.Chunks = int64(rows), int64(chunks)
+	ncams, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if ncams > 0 {
+		s.CamRows = make(map[string]int64, ncams)
+	}
+	for i := 0; i < int(ncams); i++ {
+		nameLen, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.str(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		r, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		s.CamRows[name] = int64(r)
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("rel: %d trailing bytes in partial state", d.remaining())
+	}
+	return s, nil
+}

@@ -432,6 +432,7 @@ type statsCameraJSON struct {
 func (a *API) getStats(w http.ResponseWriter, _ *http.Request) {
 	cs := a.engine.CacheStats()
 	fs := a.engine.FlightStats()
+	ps := a.engine.PartialStats()
 	budgets := a.engine.CameraBudgets()
 	cams := make([]statsCameraJSON, len(budgets))
 	for i, cb := range budgets {
@@ -464,6 +465,16 @@ func (a *API) getStats(w http.ResponseWriter, _ *http.Request) {
 			"disk_max_bytes": cs.DiskMaxBytes,
 			"disk_segments":  cs.DiskSegments,
 			"disk_evictions": cs.DiskEvictions,
+		},
+		"partial_agg": map[string]any{
+			"plans":         ps.Plans,
+			"declined":      ps.Declined,
+			"folds":         ps.Folds,
+			"merges":        ps.Merges,
+			"cached_chunks": ps.CachedChunks,
+			"state_hits":    ps.StateHits,
+			"state_misses":  ps.StateMisses,
+			"state_puts":    ps.StatePuts,
 		},
 	})
 }

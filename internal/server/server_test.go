@@ -187,9 +187,11 @@ func TestHTTPConcurrentAnalysts(t *testing.T) {
 		t.Fatalf("audit has %d entries, want %d", len(audit), analysts*perAnalyst)
 	}
 
-	// Identical repeated queries should have hit the chunk cache.
+	// Identical repeated queries should have hit the chunk cache — the
+	// partial-state tier when the aggregation pushes down, the table
+	// tier otherwise.
 	st := engine.CacheStats()
-	if st.Hits == 0 {
+	if st.Hits == 0 && st.StateHits == 0 {
 		t.Fatalf("expected chunk-cache hits across repeated queries, got %+v", st)
 	}
 }
@@ -328,6 +330,16 @@ func TestHTTPCamerasBudgetStats(t *testing.T) {
 	}
 	if _, ok := stats["chunk_cache"].(map[string]any)["max_bytes"]; !ok {
 		t.Fatalf("stats missing chunk cache: %+v", stats)
+	}
+	pa, ok := stats["partial_agg"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing partial_agg: %+v", stats)
+	}
+	for _, k := range []string{"plans", "declined", "folds", "merges", "cached_chunks",
+		"state_hits", "state_misses", "state_puts"} {
+		if _, ok := pa[k]; !ok {
+			t.Fatalf("partial_agg stats missing %q: %+v", k, pa)
+		}
 	}
 	sf, ok := stats["singleflight"].(map[string]any)
 	if !ok {

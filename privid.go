@@ -167,6 +167,10 @@ type (
 	// counters — leaders, followers, handoffs, timeouts, currently
 	// waiting (Engine.FlightStats).
 	FlightStats = cache.FlightStats
+	// PartialAggStats is a snapshot of the aggregation-pushdown
+	// counters — plans, declines, per-chunk folds, merges, and
+	// partial-state cache traffic (Engine.PartialStats).
+	PartialAggStats = core.PartialAggStats
 )
 
 // Observability types (see internal/obs and DESIGN.md
