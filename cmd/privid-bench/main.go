@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run (default: all); one of table1,table2,table3,fig3,fig4,fig5,fig6,fig7,fig8,table6")
+		run   = flag.String("run", "", "experiment id to run (default: all); one of table1,table2,table3,fig3,fig4,fig5,fig6,fig7,fig8,table6,ablation,soak")
 		scale = flag.Float64("scale", 0.1, "workload scale (1.0 = paper scale: 12h video, 365-day fleet)")
 		seed  = flag.Int64("seed", 1, "deterministic seed")
 		quiet = flag.Bool("q", false, "suppress experiment rows; print only metric summaries")

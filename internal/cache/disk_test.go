@@ -410,3 +410,103 @@ func FuzzCacheSegmentDecode(f *testing.F) {
 		}
 	})
 }
+
+// fakePPS1 builds a plausible partial-state payload (the rel codec's
+// magic plus arbitrary body bytes) without importing internal/rel: the
+// disk tier treats raw payloads as opaque, so only the framing — not
+// the codec — is under test here.
+func fakePPS1(n int) []byte {
+	b := append([]byte(nil), 'P', 'P', 'S', '1')
+	for i := 0; i < n; i++ {
+		b = append(b, byte(i*7+1))
+	}
+	return b
+}
+
+// TestDiskCorruptRawFrameRecovery interleaves table frames (Put) with
+// raw partial-state frames (PutRaw) in one segment, flips a byte
+// inside one of the raw frames' payloads, and reopens: the valid
+// prefix of BOTH kinds must survive, everything at and after the
+// corrupt frame must be dropped, the file must be truncated to the
+// last good boundary, and the reopened cache must accept new entries
+// that survive a further reopen. This pins the recovery contract for
+// the partial-state tier, whose PPS1 payloads share segments with
+// encoded tables.
+func TestDiskCorruptRawFrameRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave: table, raw, table, raw, table.
+	d.Put("tbl1", mixedTbl(4))
+	d.PutRaw("ps:one", fakePPS1(40))
+	d.Put("tbl2", mixedTbl(3))
+	d.PutRaw("ps:two", fakePPS1(60))
+	d.Put("tbl3", mixedTbl(2))
+	d.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.pvc"))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d, want 1", len(segs))
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the frames to the fourth one (ps:two) and corrupt a byte in
+	// the middle of its payload.
+	off := 0
+	for i := 0; i < 3; i++ {
+		kLen := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+		pLen := binary.LittleEndian.Uint32(raw[off+8 : off+12])
+		off += segHeaderBytes + int(kLen) + int(pLen) + segTrailer
+	}
+	kLen := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+	if got := string(raw[off+segHeaderBytes : off+segHeaderBytes+int(kLen)]); got != "ps:two" {
+		t.Fatalf("frame walk landed on %q, want ps:two", got)
+	}
+	raw[off+segHeaderBytes+int(kLen)+20] ^= 0xa5
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatalf("reopen after raw-frame corruption: %v", err)
+	}
+	// The valid prefix survives, both kinds.
+	if _, ok := d2.Get("tbl1"); !ok {
+		t.Fatal("tbl1 (before corruption) lost")
+	}
+	if got, ok := d2.GetRaw("ps:one"); !ok || string(got) != string(fakePPS1(40)) {
+		t.Fatalf("ps:one (before corruption) lost or mutated (ok=%v)", ok)
+	}
+	if _, ok := d2.Get("tbl2"); !ok {
+		t.Fatal("tbl2 (before corruption) lost")
+	}
+	// The corrupt raw frame and everything after it are gone.
+	if _, ok := d2.GetRaw("ps:two"); ok {
+		t.Fatal("corrupt ps:two must not be served")
+	}
+	if _, ok := d2.Get("tbl3"); ok {
+		t.Fatal("tbl3 (after corruption) must have been dropped with the scan")
+	}
+	// New writes land on a clean boundary and survive another reopen.
+	d2.Put("tbl4", mixedTbl(5))
+	d2.PutRaw("ps:three", fakePPS1(10))
+	d2.Close()
+	d3, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	for _, k := range []string{"tbl1", "tbl2", "tbl4"} {
+		if _, ok := d3.Get(k); !ok {
+			t.Fatalf("%s lost after post-corruption append", k)
+		}
+	}
+	if got, ok := d3.GetRaw("ps:three"); !ok || string(got) != string(fakePPS1(10)) {
+		t.Fatal("ps:three lost after post-corruption append")
+	}
+}

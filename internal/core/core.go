@@ -139,6 +139,12 @@ type Options struct {
 	// this many records. 0 uses the store default (4096); negative
 	// disables automatic compaction.
 	SnapshotEvery int
+	// WrapWALFile, when non-nil, wraps the WAL's file handle on open
+	// (and again after each compaction). It plumbs through to
+	// store.Options.WrapFile and exists for fault injection — the
+	// chaos harness installs a storetest.FaultyFile here to tear
+	// commits under a live engine. Only meaningful with StateDir.
+	WrapWALFile func(store.File) store.File
 	// Store overrides the durable store entirely (fault-injection
 	// tests). Takes precedence over StateDir; no recovery is
 	// performed.
@@ -296,6 +302,7 @@ func Open(opts Options) (*Engine, error) {
 		w, err := store.Open(opts.StateDir, store.Options{
 			GroupCommit:   true,
 			SnapshotEvery: opts.SnapshotEvery,
+			WrapFile:      opts.WrapWALFile,
 			Metrics:       storeMetrics(reg),
 		})
 		if err != nil {

@@ -49,6 +49,13 @@ type ReleaseResult struct {
 	Raw float64
 	// RawSet marks that Raw is meaningful.
 	RawSet bool
+	// Begin and End are the wall-clock span the release covers — the
+	// query window for whole-table aggregates, the bucket span for
+	// time-bucketed GROUP BY releases. Each touched camera is charged
+	// over its queried span clipped to [Begin, End); external ledger
+	// accounting (internal/sim's invariant checker) rebuilds the
+	// per-frame charges from them.
+	Begin, End time.Time
 }
 
 // CameraBudget reports one camera's share of a query's privacy cost:
@@ -487,6 +494,8 @@ func (e *Engine) noiseRelease(r rel.Release) ReleaseResult {
 		Epsilon:     r.Epsilon,
 		Sensitivity: r.Sensitivity,
 		NoiseScale:  dp.LaplaceScale(r.Sensitivity, r.Epsilon),
+		Begin:       r.Begin,
+		End:         r.End,
 	}
 	if len(r.Scores) > 0 {
 		out.IsArgmax = true

@@ -98,3 +98,30 @@ func (sq *StandingQuery) Released() int {
 	defer sq.mu.Unlock()
 	return len(sq.released)
 }
+
+// ReleasedKeys snapshots the identities of every release emitted so
+// far, for persisting across an engine restart. Feed the snapshot to
+// RestoreReleased on the standing query rebuilt against the reopened
+// engine; without it the new query would re-release (and re-charge)
+// every elapsed bucket. Order is unspecified.
+func (sq *StandingQuery) ReleasedKeys() []string {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	keys := make([]string, 0, len(sq.released))
+	for k := range sq.released {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// RestoreReleased marks keys (from a prior ReleasedKeys snapshot) as
+// already released, so Advance skips — and never re-charges — them.
+// The budget itself survives restarts through the WAL; this restores
+// the release-set half of exactly-once.
+func (sq *StandingQuery) RestoreReleased(keys ...string) {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	for _, k := range keys {
+		sq.released[k] = true
+	}
+}

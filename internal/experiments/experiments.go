@@ -168,6 +168,12 @@ func All() []Experiment {
 			Paper: "each mechanism (sec 7.1/7.2, Fig 6) buys a measurable noise reduction",
 			Run:   runAblation,
 		},
+		{
+			ID:    "soak",
+			Title: "Fleet soak: ledger and accuracy invariants under chaos",
+			Paper: "no figure; operationalizes sec 5-7's enforcement claims (target: 0 violations)",
+			Run:   runSoak,
+		},
 	}
 }
 

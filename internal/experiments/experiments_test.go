@@ -23,7 +23,7 @@ func runExp(t *testing.T, id string) *Summary {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table6", "ablation"}
+	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table6", "ablation", "soak"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(all), len(want))

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"privid/internal/sim"
+)
+
+// runSoak exercises the claim behind §5-§7 that matters operationally
+// but has no figure: the budget ledger and released aggregates stay
+// correct under a concurrent multi-analyst fleet workload, including
+// process restarts, crashes and WAL faults. It runs the deterministic
+// fleet simulator twice — clean and under chaos — and reports the
+// workload shape plus the invariant-violation count (the reproduction
+// target is zero).
+func runSoak(cfg Config) (*Summary, error) {
+	sum := newSummary()
+	cams := int(240 * cfg.scale())
+	if cams < 6 {
+		cams = 6
+	}
+	if cams > 1000 {
+		cams = 1000
+	}
+	for _, chaos := range []bool{false, true} {
+		sc := sim.Scenario{
+			Fleet:    sim.FleetConfig{Cameras: cams, Seed: cfg.Seed, Minutes: 3},
+			Workload: sim.WorkloadConfig{Analysts: 4, OpsPerAnalyst: 4, StandingQueries: 2},
+		}
+		if chaos {
+			sc.Chaos = sim.ChaosConfig{Restarts: 1, Crashes: 1, TornWAL: true, HungExec: true, CacheThrash: true}
+		}
+		var err error
+		if sc.StateDir, err = os.MkdirTemp("", "privid-soak-state-*"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(sc.StateDir)
+		if sc.DiskCacheDir, err = os.MkdirTemp("", "privid-soak-cache-*"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(sc.DiskCacheDir)
+
+		tb := &sim.RuntimeTB{}
+		rep, fatal := soakRun(tb, sc)
+		tb.RunCleanups()
+		if fatal != nil {
+			return nil, fatal
+		}
+		mode := "clean"
+		if chaos {
+			mode = "chaos"
+		}
+		cfg.printf("  %-5s seed %d: %d cams, %d ops (done %d denied %d lost %d), %d standing releases, "+
+			"%d restarts, %d crashes, %d violations\n",
+			mode, rep.Seed, rep.Cameras, rep.Ops, rep.Done, rep.Denied, rep.Lost,
+			rep.StandingReleases, rep.Restarts, rep.Crashes, len(rep.Violations))
+		for _, v := range rep.Violations {
+			cfg.printf("    violation: %s\n", v)
+		}
+		sum.set(mode+"_ops_done", float64(rep.Done))
+		sum.set(mode+"_standing_releases", float64(rep.StandingReleases))
+		sum.set(mode+"_violations", float64(len(rep.Violations)))
+	}
+	return sum, nil
+}
+
+// soakRun converts RuntimeTB's Fatalf panic into an error so one
+// broken mode doesn't abort the whole experiment sweep uncleanly.
+func soakRun(tb *sim.RuntimeTB, sc sim.Scenario) (rep *sim.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if fe, ok := r.(sim.FatalError); ok {
+				err = fmt.Errorf("soak: %w", fe)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return sim.Run(tb, sc), nil
+}

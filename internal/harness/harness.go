@@ -19,13 +19,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
-	"testing"
 	"time"
 
 	"privid/internal/core"
 	"privid/internal/geom"
 	"privid/internal/obs"
 	"privid/internal/policy"
+	"privid/internal/sandbox"
 	"privid/internal/scene"
 	"privid/internal/server"
 	"privid/internal/store"
@@ -35,6 +35,17 @@ import (
 
 // Camera is the test camera's name.
 const Camera = "cam"
+
+// TB is the slice of testing.TB the harness needs. testing.T and
+// testing.B satisfy it; so does internal/sim's runtime reporter, which
+// lets cmd/privid-sim drive a stack outside `go test`.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Logf(format string, args ...any)
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
 
 // Config parameterizes the stack. The zero value is a fast in-memory
 // deployment.
@@ -71,6 +82,41 @@ type Config struct {
 	// RAM-only). The directory outlives Restart, so memoized chunk
 	// results survive a simulated process restart.
 	DiskCacheDir string
+	// DiskCacheBytes bounds the tier-2 cache (0 = engine default).
+	// Tiny values induce cache thrash (chaos scenarios).
+	DiskCacheBytes int64
+	// Evaluation runs the engine in evaluation mode: every release
+	// additionally reports its pre-noise Raw value (over HTTP too),
+	// which the sim harness's ground-truth invariant depends on.
+	Evaluation bool
+	// Parallelism bounds concurrent sandbox executions engine-wide
+	// (0 = engine default).
+	Parallelism int
+	// Metrics supplies a shared obs registry. nil (the default) gives
+	// every boot its own fresh registry — stacks are isolated from
+	// each other and from earlier incarnations, so parallel scenarios
+	// can assert exact counter values. Set it to share one registry
+	// across Restart (to watch counters accumulate over a stack's
+	// lifetimes).
+	Metrics *obs.Registry
+	// WrapWALFile plumbs through to core.Options.WrapWALFile: the
+	// chaos layer installs a storetest.FaultyFile here to tear WAL
+	// commits under load. Applied on every boot (and WAL compaction).
+	WrapWALFile func(store.File) store.File
+	// CameraConfigs, when non-empty, replaces the default testScene
+	// cameras entirely — the sim fleet registers its own sources,
+	// policies and budgets. Cameras/Epsilon/Minutes are ignored.
+	CameraConfigs []core.CameraConfig
+	// Executables registers extra named ProcessFuncs alongside the
+	// default "one" (whose name is reserved).
+	Executables map[string]sandbox.ProcessFunc
+	// WaitTimeout bounds Wait's polling (0 = 30s). Soak runs under
+	// -race on loaded machines may need more.
+	WaitTimeout time.Duration
+	// BeforeBoot runs before every engine open — including the first —
+	// with no stack running. The chaos layer corrupts disk-cache
+	// segments here, between incarnations.
+	BeforeBoot func()
 }
 
 func (c Config) withDefaults() Config {
@@ -99,14 +145,20 @@ func CameraName(i int) string {
 
 // H is a running stack. Engine, Sched and Srv are replaced by Restart.
 type H struct {
-	T      testing.TB
+	T      TB
 	Cfg    Config
 	Engine *core.Engine
 	Sched  *server.Scheduler
 	Srv    *httptest.Server
 
 	stopped bool
+	// reg is this incarnation's obs registry (Cfg.Metrics, or a fresh
+	// one per boot when nil).
+	reg *obs.Registry
 }
+
+// Registry returns the running stack's isolated obs registry.
+func (h *H) Registry() *obs.Registry { return h.reg }
 
 // streamStart anchors the test camera (matching the repo's test
 // convention: the paper's 6:00 am capture window).
@@ -142,7 +194,7 @@ func one(*video.Chunk) []table.Row { return []table.Row{{table.N(1)}} }
 
 // Start boots the stack and registers cleanup. Failures are fatal on
 // t. The returned handle's helpers drive the stack over real HTTP.
-func Start(t testing.TB, cfg Config) *H {
+func Start(t TB, cfg Config) *H {
 	t.Helper()
 	cfg = cfg.withDefaults()
 	h := &H{T: t, Cfg: cfg}
@@ -154,32 +206,57 @@ func Start(t testing.TB, cfg Config) *H {
 // boot builds engine, scheduler and HTTP server from h.Cfg.
 func (h *H) boot() {
 	h.T.Helper()
+	if h.Cfg.BeforeBoot != nil {
+		h.Cfg.BeforeBoot()
+	}
+	h.reg = h.Cfg.Metrics
+	if h.reg == nil {
+		// Isolated per-boot registry: parallel stacks (sim scenarios,
+		// obs e2e tests) never see each other's counters.
+		h.reg = obs.NewRegistry()
+	}
 	engine, err := core.Open(core.Options{
 		Seed:                h.Cfg.Seed,
 		DefaultQueryEpsilon: h.Cfg.DefaultQueryEpsilon,
+		Evaluation:          h.Cfg.Evaluation,
+		Parallelism:         h.Cfg.Parallelism,
 		StateDir:            h.Cfg.StateDir,
 		RepairState:         h.Cfg.RepairState,
 		SnapshotEvery:       h.Cfg.SnapshotEvery,
 		Store:               h.Cfg.Store,
 		ChunkCacheBytes:     h.Cfg.ChunkCacheBytes,
 		DiskCacheDir:        h.Cfg.DiskCacheDir,
+		DiskCacheBytes:      h.Cfg.DiskCacheBytes,
+		WrapWALFile:         h.Cfg.WrapWALFile,
+		Metrics:             h.reg,
 	})
 	if err != nil {
 		h.T.Fatalf("harness: open engine: %v", err)
 	}
-	for i := 0; i < h.Cfg.Cameras; i++ {
-		name := CameraName(i)
-		if err := engine.RegisterCamera(core.CameraConfig{
-			Name:    name,
-			Source:  &video.SceneSource{Camera: name, Scene: testScene(h.Cfg.Minutes)},
-			Policy:  policy.Policy{Rho: 25 * time.Second, K: 1},
-			Epsilon: h.Cfg.Epsilon,
-		}); err != nil {
-			h.T.Fatalf("harness: register camera: %v", err)
+	cams := h.Cfg.CameraConfigs
+	if len(cams) == 0 {
+		for i := 0; i < h.Cfg.Cameras; i++ {
+			name := CameraName(i)
+			cams = append(cams, core.CameraConfig{
+				Name:    name,
+				Source:  &video.SceneSource{Camera: name, Scene: testScene(h.Cfg.Minutes)},
+				Policy:  policy.Policy{Rho: 25 * time.Second, K: 1},
+				Epsilon: h.Cfg.Epsilon,
+			})
+		}
+	}
+	for _, cc := range cams {
+		if err := engine.RegisterCamera(cc); err != nil {
+			h.T.Fatalf("harness: register camera %s: %v", cc.Name, err)
 		}
 	}
 	if err := engine.Registry().Register("one", one); err != nil {
 		h.T.Fatalf("harness: register executable: %v", err)
+	}
+	for name, fn := range h.Cfg.Executables {
+		if err := engine.Registry().Register(name, fn); err != nil {
+			h.T.Fatalf("harness: register executable %s: %v", name, err)
+		}
 	}
 	h.Engine = engine
 	h.Sched = server.NewScheduler(engine, h.Cfg.Scheduler)
@@ -207,6 +284,30 @@ func (h *H) Stop() {
 func (h *H) Restart() {
 	h.T.Helper()
 	h.Stop()
+	h.boot()
+}
+
+// Crash simulates an abrupt process death and restart: the HTTP
+// frontend closes and the scheduler drains its in-flight jobs (whose
+// WAL commits fail if the caller poisoned a chaos FaultyFile first),
+// but the engine is abandoned WITHOUT Close — no final snapshot, no
+// graceful WAL close, exactly like a killed process — and a fresh
+// stack boots from the same state directory with repair forced (a
+// torn tail must not block restart). In-memory stacks just restart.
+func (h *H) Crash() {
+	h.T.Helper()
+	if !h.stopped {
+		h.Srv.Close()
+		h.Sched.Close()
+		// The abandoned engine's group-commit goroutine and file
+		// handles leak until process exit, as they would in a real
+		// crash. The drained scheduler guarantees it never writes
+		// again, so the reopened WAL owns the tail.
+		h.stopped = true
+	}
+	if h.Cfg.StateDir != "" {
+		h.Cfg.RepairState = true
+	}
 	h.boot()
 }
 
@@ -250,6 +351,14 @@ type Release struct {
 	Epsilon     float64 `json:"epsilon"`
 	Sensitivity float64 `json:"sensitivity"`
 	NoiseScale  float64 `json:"noise_scale"`
+	// Raw is the pre-noise value, served only when the stack runs
+	// with Config.Evaluation (the sim ground-truth invariant).
+	Raw    float64 `json:"raw"`
+	RawSet bool    `json:"raw_set"`
+	// Begin/End are the release's wall-clock span; cameras are
+	// charged over their queried span clipped to it.
+	Begin time.Time `json:"begin"`
+	End   time.Time `json:"end"`
 }
 
 // CameraBudget is one camera's budget impact as served over HTTP.
@@ -347,7 +456,11 @@ func (h *H) TrySubmit(analyst, query string) (id string, status int, errMsg stri
 // Wait polls a job until it reaches a terminal state (or times out).
 func (h *H) Wait(id string) Job {
 	h.T.Helper()
-	deadline := time.Now().Add(30 * time.Second)
+	timeout := h.Cfg.WaitTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
 	for {
 		var j Job
 		h.get("/v1/queries/"+id, http.StatusOK, &j)
@@ -463,6 +576,17 @@ type StatsCamera struct {
 	Name      string  `json:"name"`
 	Epsilon   float64 `json:"epsilon"`
 	Remaining float64 `json:"remaining"`
+}
+
+// StatsRaw fetches the full stats payload as loosely-typed JSON. The
+// sim invariant checker cross-checks every counter group against the
+// engine's own snapshots, so it needs the wire form verbatim rather
+// than a typed slice of it.
+func (h *H) StatsRaw() map[string]any {
+	h.T.Helper()
+	out := map[string]any{}
+	h.get("/v1/stats", http.StatusOK, &out)
+	return out
 }
 
 // Stats fetches the stats endpoint: scheduler load and per-camera

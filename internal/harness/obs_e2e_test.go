@@ -41,6 +41,7 @@ func spanNum(s obs.SpanTree, key string) float64 {
 // per camera under PROCESS, a serving-layer parse span, and cache
 // hit/miss tallies that agree with the engine's cache counters.
 func TestE2ETraceMultiCamera(t *testing.T) {
+	t.Parallel() // stacks carry isolated obs registries — no cross-test bleed
 	h := harness.Start(t, harness.Config{Cameras: 3, Epsilon: 10})
 
 	// A pending (unknown) job's trace is a 404; a bad ID too.
@@ -112,6 +113,7 @@ func TestE2ETraceMultiCamera(t *testing.T) {
 // terminal jobs: after a restart against the same state dir, the trace
 // endpoint still serves the span tree.
 func TestE2ETraceSurvivesRestart(t *testing.T) {
+	t.Parallel() // stacks carry isolated obs registries — no cross-test bleed
 	h := harness.Start(t, harness.Config{StateDir: t.TempDir()})
 	job := h.SubmitWait("alice", harness.CountQuery(0, 2, 0.5))
 	if job.State != "done" {
@@ -139,6 +141,7 @@ func TestE2ETraceSurvivesRestart(t *testing.T) {
 // valid Prometheus text covering engine and scheduler families, and the
 // stats endpoint's per-camera budgets agree with the gauges.
 func TestE2EMetricsScrape(t *testing.T) {
+	t.Parallel() // stacks carry isolated obs registries — no cross-test bleed
 	h := harness.Start(t, harness.Config{Cameras: 2, Epsilon: 10, StateDir: t.TempDir()})
 	if job := h.SubmitWait("alice", harness.CountQuery(0, 2, 0.5)); job.State != "done" {
 		t.Fatalf("job = %+v", job)
@@ -192,6 +195,7 @@ func TestE2EMetricsScrape(t *testing.T) {
 // scrape regression: the registry must stay scrapeable after the stack
 // stops.
 func TestE2ESlowQueryLog(t *testing.T) {
+	t.Parallel() // stacks carry isolated obs registries — no cross-test bleed
 	var buf bytes.Buffer
 	h := harness.Start(t, harness.Config{
 		Scheduler: server.SchedulerOptions{

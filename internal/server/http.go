@@ -89,6 +89,17 @@ type releaseJSON struct {
 	Epsilon     float64    `json:"epsilon"`
 	Sensitivity float64    `json:"sensitivity"`
 	NoiseScale  float64    `json:"noise_scale"`
+	// Raw is the pre-noise value, present only when the engine runs
+	// in Evaluation mode (accuracy studies and the sim harness's
+	// ground-truth invariant); never populated in a real deployment.
+	Raw    float64 `json:"raw,omitempty"`
+	RawSet bool    `json:"raw_set,omitempty"`
+	// Begin/End are the release's wall-clock span (the query window
+	// for whole-table aggregates, the bucket span for time-bucketed
+	// GROUP BY); each touched camera was charged over its queried
+	// span clipped to it.
+	Begin time.Time `json:"begin,omitzero"`
+	End   time.Time `json:"end,omitzero"`
 }
 
 // cameraBudgetJSON is the wire form of one camera's share of a query's
@@ -128,6 +139,10 @@ func toResultJSON(res *core.Result) *resultJSON {
 			Epsilon:     r.Epsilon,
 			Sensitivity: r.Sensitivity,
 			NoiseScale:  r.NoiseScale,
+			Raw:         r.Raw,
+			RawSet:      r.RawSet,
+			Begin:       r.Begin,
+			End:         r.End,
 		}
 		if r.HasKey {
 			rj.Key = toValueJSON(r.Key)

@@ -174,8 +174,43 @@ type Scheduler struct {
 	// recovered counts terminal jobs adopted from the durable store at
 	// startup.
 	recovered int64
-	seq       int64
-	closed    bool
+	// boot is the incarnation epoch embedded in new job IDs. A fresh
+	// store mints plain q-NNNNNN IDs (boot 0); a scheduler that
+	// recovered any prior records mints q-r<boot>-NNNNNN with boot one
+	// past the highest epoch seen. This keeps IDs unique across
+	// restarts even when some terminal records were never persisted
+	// (e.g. a torn or failing WAL): resuming seq from the highest
+	// *recovered* ID alone would re-mint the lost IDs, and a client
+	// polling a stale handle would silently get a different job.
+	boot   int64
+	seq    int64
+	closed bool
+}
+
+// parseJobID splits a job ID into its boot epoch and sequence number.
+// Legacy IDs (q-NNNNNN) are epoch 0; epoch-scoped IDs are
+// q-r<boot>-NNNNNN.
+func parseJobID(id string) (boot, seq int64, ok bool) {
+	rest, found := strings.CutPrefix(id, "q-")
+	if !found {
+		return 0, 0, false
+	}
+	if b, tail, dash := strings.Cut(rest, "-"); dash {
+		if !strings.HasPrefix(b, "r") {
+			return 0, 0, false
+		}
+		bn, err1 := strconv.ParseInt(b[1:], 10, 64)
+		sn, err2 := strconv.ParseInt(tail, 10, 64)
+		if err1 != nil || err2 != nil {
+			return 0, 0, false
+		}
+		return bn, sn, true
+	}
+	sn, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return 0, sn, true
 }
 
 // NewScheduler starts a scheduler over the engine. Call Close to drain
@@ -257,10 +292,16 @@ func (s *Scheduler) adoptRecovered(jr store.JobRecord) {
 	case JobFailed:
 		s.failedTotal++
 	}
-	// Resume job numbering after the recovered tail so IDs stay
-	// unique across restarts.
-	if n, err := strconv.ParseInt(strings.TrimPrefix(jr.ID, "q-"), 10, 64); err == nil && n > s.seq {
-		s.seq = n
+	// Resume numbering after the recovered tail and move to a fresh
+	// boot epoch, so new IDs can never collide with IDs this store has
+	// ever minted — including ones whose records did not survive.
+	if bn, sn, ok := parseJobID(jr.ID); ok {
+		if bn+1 > s.boot {
+			s.boot = bn + 1
+		}
+		if sn > s.seq {
+			s.seq = sn
+		}
 	}
 }
 
@@ -319,9 +360,13 @@ func (s *Scheduler) Submit(analyst, src string) (string, error) {
 		return "", ErrQueueFull
 	}
 	s.seq++
+	id := fmt.Sprintf("q-%06d", s.seq)
+	if s.boot > 0 {
+		id = fmt.Sprintf("q-r%d-%06d", s.boot, s.seq)
+	}
 	j := &job{
 		info: JobInfo{
-			ID:          fmt.Sprintf("q-%06d", s.seq),
+			ID:          id,
 			Analyst:     analyst,
 			Query:       src,
 			State:       JobQueued,

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ChaosConfig toggles the fault layers. The zero value is a clean run
+// (strict-equality invariants); any enabled layer relaxes the ledger
+// check to the at-least-once inequality.
+type ChaosConfig struct {
+	// Restarts is the number of graceful mid-load engine restarts
+	// (close + reopen against the same state dir).
+	Restarts int
+	// Crashes is the number of kill-style crashes: the WAL file is
+	// poisoned (every write tears at zero bytes), the engine is
+	// abandoned without Close, and the next boot repairs the torn
+	// tail.
+	Crashes int
+	// TornWAL tears one WAL commit mid-run (healed shortly after),
+	// exercising rollback-and-continue without a restart.
+	TornWAL bool
+	// HungExec swaps a deterministic subset of planned ops onto a
+	// hanging executable that sleeps past its TIMEOUT.
+	HungExec bool
+	// CacheThrash shrinks both chunk-cache tiers to a few KB and
+	// corrupts the newest disk segment before every reboot, so the
+	// scan-and-truncate recovery path runs under load.
+	CacheThrash bool
+}
+
+func (c ChaosConfig) enabled() bool {
+	return c.Restarts > 0 || c.Crashes > 0 || c.TornWAL || c.HungExec || c.CacheThrash
+}
+
+type chaosKind int
+
+const (
+	ckRestart chaosKind = iota
+	ckCrash
+	ckTear
+	ckHeal
+	ckHangOn
+	ckHangOff
+)
+
+func (k chaosKind) String() string {
+	return [...]string{"restart", "crash", "tear", "heal", "hang-on", "hang-off"}[k]
+}
+
+// chaosEvent fires when the op counter crosses AtOps. Thresholds are
+// pure functions of the plan size, so the chaos schedule is as
+// seed-deterministic as everything else (which op is in flight when an
+// event fires still depends on goroutine interleaving — chaos is
+// structurally, not temporally, deterministic).
+type chaosEvent struct {
+	AtOps int64
+	Kind  chaosKind
+}
+
+// chaosSchedule spreads the configured faults across the run.
+func chaosSchedule(p *plan, c ChaosConfig) []chaosEvent {
+	total := int64(p.TotalOps)
+	if total == 0 {
+		return nil
+	}
+	var evs []chaosEvent
+	n := c.Restarts + c.Crashes
+	for k := 0; k < n; k++ {
+		at := total * int64(k+1) / int64(n+1)
+		if at < 1 {
+			at = 1
+		}
+		kind := ckRestart
+		if k%2 == 1 || c.Restarts == 0 {
+			kind = ckCrash
+		}
+		if c.Crashes == 0 {
+			kind = ckRestart
+		}
+		evs = append(evs, chaosEvent{AtOps: at, Kind: kind})
+	}
+	if c.TornWAL {
+		at := total / 5
+		if at < 1 {
+			at = 1
+		}
+		heal := at + total/10 + 1
+		evs = append(evs, chaosEvent{AtOps: at, Kind: ckTear},
+			chaosEvent{AtOps: heal, Kind: ckHeal})
+	}
+	if c.HungExec {
+		on := total / 6
+		if on < 1 {
+			on = 1
+		}
+		evs = append(evs, chaosEvent{AtOps: on, Kind: ckHangOn},
+			chaosEvent{AtOps: on + total/3 + 1, Kind: ckHangOff})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].AtOps < evs[j].AtOps })
+	return evs
+}
+
+// corruptNewestSegment flips one byte in the middle of the newest
+// disk-cache segment, so the next OpenDisk must scan, keep the valid
+// prefix and truncate the tail. No-op when the cache is empty.
+func corruptNewestSegment(dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.pvc"))
+	if err != nil || len(names) == 0 {
+		return err
+	}
+	sort.Strings(names)
+	path := names[len(names)-1]
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return err
+	}
+	off := st.Size() / 2
+	buf := []byte{0}
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return err
+	}
+	buf[0] ^= 0xA5
+	if _, err := f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("sim: corrupt %s: %w", path, err)
+	}
+	return nil
+}

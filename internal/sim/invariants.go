@@ -1,0 +1,533 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"privid/internal/store"
+	"privid/internal/vtime"
+)
+
+// noiseSigmas bounds |noised − raw| in units of the Laplace scale b:
+// P(|X| > 50b) = e^-50 ≈ 2e-22, so a trip is a bug, not bad luck.
+const noiseSigmas = 50
+
+const epsTol = 1e-6
+
+// acked accumulates the per-frame budget the driver KNOWS was spent:
+// every release an analyst actually received, charged over its served
+// [Begin, End) span — an independent reconstruction of the engine's
+// charge construction (camera spans clipped to the release span; in
+// sim geometry the clip is a no-op because every query window lies
+// inside every stream).
+type acked struct {
+	f     *Fleet
+	clock vtime.Clock
+	// diff[cam] is a difference array over frames; prefix-summing
+	// yields ε spent at each frame.
+	diff map[int][]float64
+}
+
+func newAcked(f *Fleet) *acked {
+	return &acked{
+		f:     f,
+		clock: vtime.Clock{Start: f.Start, Rate: vtime.FrameRate(f.Cfg.FPS)},
+		diff:  map[int][]float64{},
+	}
+}
+
+func (a *acked) add(cam int, begin, end time.Time, eps float64) {
+	s, e := a.clock.FrameAt(begin), a.clock.FrameAt(end)
+	if s < 0 {
+		s = 0
+	}
+	if e > a.f.Frames {
+		e = a.f.Frames
+	}
+	if e <= s {
+		return
+	}
+	d := a.diff[cam]
+	if d == nil {
+		d = make([]float64, a.f.Frames+1)
+		a.diff[cam] = d
+	}
+	d[s] += eps
+	d[e] -= eps
+}
+
+// spent resolves the difference arrays into per-frame spent curves.
+func (a *acked) spent() map[int][]float64 {
+	out := map[int][]float64{}
+	for cam, d := range a.diff {
+		cur := make([]float64, a.f.Frames)
+		run := 0.0
+		for i := int64(0); i < a.f.Frames; i++ {
+			run += d[i]
+			cur[i] = run
+		}
+		out[cam] = cur
+	}
+	return out
+}
+
+// sampleFrames picks the frames worth checking on one camera: every
+// point where the acked curve changes (window boundaries), midpoints
+// between changes, and the stream edges.
+func sampleFrames(curve []float64, frames int64) []int64 {
+	set := map[int64]bool{0: true, frames - 1: true, frames / 2: true}
+	if curve != nil {
+		prev := 0.0
+		last := int64(0)
+		for i := int64(0); i < frames; i++ {
+			if curve[i] != prev {
+				set[i] = true
+				if i > 0 {
+					set[i-1] = true
+				}
+				set[(last+i)/2] = true
+				prev = curve[i]
+				last = i
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for f := range set {
+		if f >= 0 && f < frames {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkInvariants runs the four post-run invariant classes. The stack
+// is quiescent (every goroutine joined) and in its final incarnation.
+func checkInvariants(r *runner) {
+	h := r.h
+	f := r.f
+	eps := f.Cfg.Epsilon
+	hadCrash := r.rep.Crashes > 0
+	chaos := r.sc.Chaos.enabled()
+	r.mu.RLock()
+	totalLossy := r.lossy
+	r.mu.RUnlock()
+
+	ack := newAcked(f)
+
+	// ---- class 4: jobs — outcomes, loss only across crashes, -------
+	// terminal results immutable, and build the acked ledger as we go.
+	r.recMu.Lock()
+	recs := append([]*opOutcome(nil), r.recs...)
+	r.recMu.Unlock()
+	for _, rec := range recs {
+		switch rec.State {
+		case "refused":
+			// Background load is fire-and-forget from one analyst name;
+			// tripping the per-analyst in-flight limit is the admission
+			// layer working, not a violation. Planned ops are paced (one
+			// in flight per analyst) and must always be admitted.
+			if !rec.Bg {
+				r.violatef("op %s/%s refused: %s", rec.Op.Analyst, rec.Op.Kind, rec.Err)
+			}
+		case "lost":
+			if rec.FinalLossy == rec.SubmitLossy {
+				r.violatef("job %s lost without a durability fault (op %s/%s)",
+					rec.JobID, rec.Op.Analyst, rec.Op.Kind)
+			}
+		case "done":
+			if rec.Job.Result == nil {
+				r.violatef("job %s done without result", rec.JobID)
+				continue
+			}
+			for _, rel := range rec.Job.Result.Releases {
+				for _, cam := range rec.Op.Cams {
+					ack.add(cam, rel.Begin, rel.End, rel.Epsilon)
+				}
+			}
+		}
+	}
+
+	// Terminal results must be immutable across the restarts that
+	// already happened: re-poll each recorded job and demand a
+	// bit-identical answer (or a 404, legal only when a durability-
+	// loss epoch — crash, or restart over a torn WAL — postdates the
+	// submit).
+	for _, rec := range recs {
+		if rec.State != "done" && rec.State != "failed" {
+			continue
+		}
+		j2, ok := h.Job(rec.JobID)
+		if !ok {
+			if rec.SubmitLossy == totalLossy {
+				r.violatef("terminal job %s vanished without a durability fault", rec.JobID)
+			}
+			continue
+		}
+		if j2.State != rec.State {
+			r.violatef("job %s changed state %s -> %s", rec.JobID, rec.State, j2.State)
+			continue
+		}
+		if rec.State != "done" {
+			continue
+		}
+		a, b := rec.Job.Result.Releases, j2.Result.Releases
+		if len(a) != len(b) {
+			r.violatef("job %s release count changed %d -> %d", rec.JobID, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i].Value != b[i].Value || a[i].Raw != b[i].Raw ||
+				a[i].Epsilon != b[i].Epsilon || a[i].Desc != b[i].Desc {
+				r.violatef("job %s release %d mutated across restart: %+v -> %+v",
+					rec.JobID, i, a[i], b[i])
+			}
+		}
+	}
+
+	// ---- class 2: ground truth + noise envelope --------------------
+	for _, rec := range recs {
+		o := rec.Op
+		if o.Kind == opDrain && (chaos || hadCrash) {
+			continue // a WAL fault inside the probe sequence voids its script
+		}
+		switch o.Kind {
+		case opCount, opMulti, opDrain:
+			if o.WantDenied {
+				if rec.State != "failed" || !containsBudgetExhausted(rec.Err) {
+					r.violatef("probe expected denial, got %s (%s)", rec.State, rec.Err)
+				}
+				continue
+			}
+			if rec.State == "lost" {
+				continue
+			}
+			if rec.State != "done" {
+				if !chaos {
+					r.violatef("op %s/%s failed on a clean run: %s", o.Analyst, o.Kind, rec.Err)
+				}
+				continue
+			}
+			rels := rec.Job.Result.Releases
+			if len(rels) != 1 {
+				r.violatef("op %s/%s: %d releases, want 1", o.Analyst, o.Kind, len(rels))
+				continue
+			}
+			rel := rels[0]
+			want := o.expectedGroundTruth(f, r.p.ChunkSec)
+			if !rel.RawSet {
+				r.violatef("op %s/%s: release missing raw value", o.Analyst, o.Kind)
+			} else if rel.Raw != want {
+				r.violatef("op %s/%s cams %v [%d,%d)m: raw %v != ground truth %v",
+					o.Analyst, o.Kind, o.Cams, o.BeginMin, o.EndMin, rel.Raw, want)
+			}
+			if math.Abs(rel.Value-rel.Raw) > noiseSigmas*rel.NoiseScale {
+				r.violatef("op %s/%s: |noised %v - raw %v| > %d scales (b=%v)",
+					o.Analyst, o.Kind, rel.Value, rel.Raw, noiseSigmas, rel.NoiseScale)
+			}
+			if rel.Epsilon != o.Eps {
+				r.violatef("op %s/%s: released eps %v != consuming %v",
+					o.Analyst, o.Kind, rel.Epsilon, o.Eps)
+			}
+			if rel.Sensitivity > 0 && math.Abs(rel.NoiseScale-rel.Sensitivity/rel.Epsilon) > 1e-9*rel.NoiseScale {
+				r.violatef("op %s/%s: noise scale %v != sensitivity %v / eps %v",
+					o.Analyst, o.Kind, rel.NoiseScale, rel.Sensitivity, rel.Epsilon)
+			}
+		}
+	}
+
+	// ---- class 4b + 2b: standing queries — every elapsed non-empty -
+	// bucket released exactly once, with exact per-bucket ground truth.
+	for _, sr := range r.standing {
+		sp := sr.plan
+		expected := f.ObjChunksByBucket(sp.Cam, 0, f.Cfg.Minutes, r.p.ChunkSec, sp.BinSec)
+		sr.mu.Lock()
+		for key, n := range sr.count {
+			if n != 1 {
+				r.violatef("standing %d: bucket %q released %d times", sr.idx, key, n)
+			}
+		}
+		seen := map[int64]bool{}
+		for _, rec := range sr.recs {
+			// The charge is real whatever else is wrong with the
+			// release, so the ledger reconstruction always counts it.
+			ack.add(sp.Cam, rec.Begin, rec.End, rec.Eps)
+			seen[rec.Bucket] = true
+			want, ok := expected[rec.Bucket]
+			if !ok {
+				r.violatef("standing %d: released bucket %d outside the window", sr.idx, rec.Bucket)
+				continue
+			}
+			if !rec.RawSet || rec.Raw != want {
+				r.violatef("standing %d bucket %d: raw %v != ground truth %v",
+					sr.idx, rec.Bucket, rec.Raw, want)
+			}
+			if math.Abs(rec.Value-rec.Raw) > noiseSigmas*rec.Scale {
+				r.violatef("standing %d bucket %d: |noised %v - raw %v| > %d scales",
+					sr.idx, rec.Bucket, rec.Value, rec.Raw, noiseSigmas)
+			}
+			// Each bucket release consumes the full CONSUMING ε over
+			// its own bucket span (buckets partition the window, so
+			// per-frame cost stays ε_consuming).
+			if rec.Eps != sp.Eps {
+				r.violatef("standing %d bucket %d: eps %v != consuming %v",
+					sr.idx, rec.Bucket, rec.Eps, sp.Eps)
+			}
+		}
+		for bucket := range expected {
+			if !seen[bucket] {
+				r.violatef("standing %d: bucket %d (truth %v) never released",
+					sr.idx, bucket, expected[bucket])
+			}
+		}
+		if !chaos && len(sr.errs) > 0 {
+			r.violatef("standing %d: %d advance errors on a clean run: %v",
+				sr.idx, len(sr.errs), sr.errs[0])
+		}
+		sr.mu.Unlock()
+	}
+
+	// ---- class 1: ledger identity, live engine ---------------------
+	// Clean runs (no crash): remaining == ε − acked at every sampled
+	// frame. Crash runs: remaining ≤ ε − acked (the engine may have
+	// durably charged work whose ack the crash swallowed — spending
+	// at-least-once is the safe direction), and never below the fully
+	// drained floor.
+	spent := ack.spent()
+	liveRem := map[int]map[int64]float64{}
+	camIdxs := checkedCameras(f, spent)
+	for _, cam := range camIdxs {
+		curve := spent[cam]
+		samples := sampleFrames(curve, f.Frames)
+		liveRem[cam] = map[int64]float64{}
+		for _, fr := range samples {
+			rem, err := h.Engine.Remaining(f.Cams[cam].Name, fr)
+			if err != nil {
+				r.violatef("remaining(%s,%d): %v", f.Cams[cam].Name, fr, err)
+				continue
+			}
+			liveRem[cam][fr] = rem
+			ac := 0.0
+			if curve != nil {
+				ac = curve[fr]
+			}
+			if hadCrash {
+				if rem > eps-ac+epsTol {
+					r.violatef("cam %s frame %d: remaining %v > eps %v - acked %v (charges lost)",
+						f.Cams[cam].Name, fr, rem, eps, ac)
+				}
+				if rem < -epsTol {
+					r.violatef("cam %s frame %d: remaining %v < 0", f.Cams[cam].Name, fr, rem)
+				}
+			} else if math.Abs(rem-(eps-ac)) > epsTol {
+				r.violatef("cam %s frame %d: remaining %v != eps %v - acked %v",
+					f.Cams[cam].Name, fr, rem, eps, ac)
+			}
+		}
+	}
+
+	// ---- class 3: stats self-consistency ---------------------------
+	checkStats(r, spent)
+
+	// ---- class 1b: the WAL read back after shutdown agrees ---------
+	// with both the live engine (exactly) and the acked ledger
+	// (exactly clean, at-least-once after crashes).
+	h.Stop()
+	st, err := store.ReadState(r.sc.StateDir, 0)
+	if err != nil {
+		r.violatef("read state after stop: %v", err)
+		return
+	}
+	for _, cam := range camIdxs {
+		name := f.Cams[cam].Name
+		curve := spent[cam]
+		for fr, rem := range liveRem[cam] {
+			wal := st.Spent(name, fr)
+			if math.Abs((eps-rem)-wal) > epsTol {
+				r.violatef("cam %s frame %d: WAL spent %v != eps - live remaining %v",
+					name, fr, wal, eps-rem)
+			}
+			ac := 0.0
+			if curve != nil {
+				ac = curve[fr]
+			}
+			if wal < ac-epsTol {
+				r.violatef("cam %s frame %d: WAL spent %v < acked %v (charge lost)",
+					name, fr, wal, ac)
+			}
+			if !hadCrash && math.Abs(wal-ac) > epsTol {
+				r.violatef("cam %s frame %d: WAL spent %v != acked %v on a crash-free run",
+					name, fr, wal, ac)
+			}
+		}
+	}
+}
+
+// checkedCameras picks which cameras get per-frame ledger checks:
+// every camera with acked activity, plus (bounded) a sample of idle
+// ones — a 1000-camera fleet shouldn't cost 1000×samples HTTP-less
+// engine calls for cameras provably untouched.
+func checkedCameras(f *Fleet, spent map[int][]float64) []int {
+	idxs := make([]int, 0, len(spent)+8)
+	for cam := range spent {
+		idxs = append(idxs, cam)
+	}
+	sort.Ints(idxs)
+	stride := len(f.Cams)/16 + 1
+	for cam := 0; cam < len(f.Cams); cam += stride {
+		if _, ok := spent[cam]; !ok {
+			idxs = append(idxs, cam)
+		}
+	}
+	return idxs
+}
+
+// checkStats cross-checks /v1/stats against the engine's own counter
+// snapshots (legal only at quiescence) plus the counters' structural
+// identities, and ties the per-camera worst-case remaining to the
+// acked ledger.
+func checkStats(r *runner, spent map[int][]float64) {
+	h := r.h
+	f := r.f
+	raw := h.StatsRaw()
+	cs := h.Engine.CacheStats()
+	fs := h.Engine.FlightStats()
+	ps := h.Engine.PartialStats()
+
+	group := func(name string) map[string]any {
+		g, _ := raw[name].(map[string]any)
+		if g == nil {
+			r.violatef("stats: missing %q group", name)
+			return map[string]any{}
+		}
+		return g
+	}
+	num := func(g map[string]any, key string) float64 {
+		v, ok := g[key].(float64)
+		if !ok {
+			r.violatef("stats: missing numeric field %q", key)
+		}
+		return v
+	}
+	wants := []struct {
+		group string
+		key   string
+		want  float64
+	}{
+		{"singleflight", "leaders", float64(fs.Leaders)},
+		{"singleflight", "followers", float64(fs.Followers)},
+		{"singleflight", "handoffs", float64(fs.Handoffs)},
+		{"singleflight", "timeouts", float64(fs.Timeouts)},
+		{"singleflight", "waiting", float64(fs.Waiting)},
+		{"chunk_cache", "hits", float64(cs.Hits)},
+		{"chunk_cache", "misses", float64(cs.Misses)},
+		{"chunk_cache", "puts", float64(cs.Puts)},
+		{"chunk_cache", "evictions", float64(cs.Evictions)},
+		{"chunk_cache", "entries", float64(cs.Entries)},
+		{"chunk_cache", "bytes", float64(cs.Bytes)},
+		{"chunk_cache", "max_bytes", float64(cs.MaxBytes)},
+		{"chunk_cache", "disk_hits", float64(cs.DiskHits)},
+		{"chunk_cache", "disk_misses", float64(cs.DiskMisses)},
+		{"chunk_cache", "disk_puts", float64(cs.DiskPuts)},
+		{"chunk_cache", "promotions", float64(cs.Promotions)},
+		{"chunk_cache", "disk_bytes", float64(cs.DiskBytes)},
+		{"chunk_cache", "disk_segments", float64(cs.DiskSegments)},
+		{"chunk_cache", "disk_evictions", float64(cs.DiskEvictions)},
+		{"partial_agg", "plans", float64(ps.Plans)},
+		{"partial_agg", "declined", float64(ps.Declined)},
+		{"partial_agg", "folds", float64(ps.Folds)},
+		{"partial_agg", "merges", float64(ps.Merges)},
+		{"partial_agg", "state_hits", float64(ps.StateHits)},
+		{"partial_agg", "state_misses", float64(ps.StateMisses)},
+		{"partial_agg", "state_puts", float64(ps.StatePuts)},
+	}
+	groups := map[string]map[string]any{}
+	for _, w := range wants {
+		g, ok := groups[w.group]
+		if !ok {
+			g = group(w.group)
+			groups[w.group] = g
+		}
+		if got := num(g, w.key); got != w.want {
+			r.violatef("stats: %s.%s = %v, engine says %v", w.group, w.key, got, w.want)
+		}
+	}
+
+	// Structural identities.
+	cc := groups["chunk_cache"]
+	if hr := num(cc, "hit_rate"); hr < 0 || hr > 1 {
+		r.violatef("stats: hit_rate %v outside [0,1]", hr)
+	}
+	if cs.MaxBytes > 0 && cs.Bytes > cs.MaxBytes {
+		r.violatef("stats: cache bytes %d > max %d", cs.Bytes, cs.MaxBytes)
+	}
+	if cs.Puts > cs.Misses {
+		r.violatef("stats: cache puts %d > misses %d", cs.Puts, cs.Misses)
+	}
+	if fs.Waiting != 0 {
+		r.violatef("stats: %d singleflight waiters at quiescence", fs.Waiting)
+	}
+	// SchedStats serializes without json tags, so the wire keys are
+	// the Go field names.
+	sched := group("scheduler")
+	if q := num(sched, "Queued"); q != 0 {
+		r.violatef("stats: %v queued jobs at quiescence", q)
+	}
+	if ru := num(sched, "Running"); ru != 0 {
+		r.violatef("stats: %v running jobs at quiescence", ru)
+	}
+
+	// Per-camera worst-case remaining: the wire value must match the
+	// engine's budget report bit-for-bit, and relate to the acked
+	// ledger like the per-frame check does.
+	budgets := h.Engine.CameraBudgets()
+	byName := map[string]float64{}
+	for _, b := range budgets {
+		byName[b.Name] = b.Remaining
+	}
+	camsRaw, _ := raw["cameras"].([]any)
+	if len(camsRaw) != len(budgets) {
+		r.violatef("stats: %d cameras on the wire, engine has %d", len(camsRaw), len(budgets))
+	}
+	for _, cr := range camsRaw {
+		m, _ := cr.(map[string]any)
+		if m == nil {
+			continue
+		}
+		name, _ := m["name"].(string)
+		rem, _ := m["remaining"].(float64)
+		if want, ok := byName[name]; !ok || rem != want {
+			r.violatef("stats: camera %s remaining %v, engine says %v", name, rem, want)
+		}
+	}
+	hadCrash := r.rep.Crashes > 0
+	for cam, curve := range spent {
+		maxAcked := 0.0
+		for _, v := range curve {
+			if v > maxAcked {
+				maxAcked = v
+			}
+		}
+		rem, ok := byName[f.Cams[cam].Name]
+		if !ok {
+			r.violatef("stats: camera %s missing from budgets", f.Cams[cam].Name)
+			continue
+		}
+		floor := f.Cfg.Epsilon - maxAcked
+		if hadCrash {
+			if rem > floor+epsTol {
+				r.violatef("cam %s: worst-case remaining %v > eps - max acked %v",
+					f.Cams[cam].Name, rem, floor)
+			}
+		} else if math.Abs(rem-floor) > epsTol {
+			r.violatef("cam %s: worst-case remaining %v != eps - max acked %v",
+				f.Cams[cam].Name, rem, floor)
+		}
+	}
+}
+
+func containsBudgetExhausted(s string) bool {
+	return strings.Contains(s, "budget exhausted")
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"privid/internal/video"
+	"privid/internal/vtime"
+)
+
+func testFleetCfg(seed int64) FleetConfig {
+	return FleetConfig{Cameras: 6, Seed: seed, Minutes: 4}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a := NewFleet(testFleetCfg(42))
+	b := NewFleet(testFleetCfg(42))
+	if len(a.Cams) != len(b.Cams) {
+		t.Fatalf("camera counts differ: %d vs %d", len(a.Cams), len(b.Cams))
+	}
+	for i := range a.Cams {
+		if !reflect.DeepEqual(a.Cams[i].Events, b.Cams[i].Events) {
+			t.Fatalf("camera %d events differ across identical seeds", i)
+		}
+	}
+	c := NewFleet(testFleetCfg(43))
+	same := true
+	for i := range a.Cams {
+		if !reflect.DeepEqual(a.Cams[i].Events, c.Cams[i].Events) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 generated identical fleets")
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	f := NewFleet(testFleetCfg(7))
+	chaos := ChaosConfig{Restarts: 1, Crashes: 1, TornWAL: true, HungExec: true}
+	a := newPlan(f, WorkloadConfig{}, chaos)
+	b := newPlan(f, WorkloadConfig{}, chaos)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different plans")
+	}
+	if !reflect.DeepEqual(chaosSchedule(a, chaos), chaosSchedule(b, chaos)) {
+		t.Fatal("identical plans produced different chaos schedules")
+	}
+	for _, ev := range chaosSchedule(a, chaos) {
+		if ev.AtOps < 1 || ev.AtOps >= int64(a.TotalOps) {
+			t.Fatalf("chaos event %v at %d outside (0,%d)", ev.Kind, ev.AtOps, a.TotalOps)
+		}
+	}
+}
+
+// bruteChunks recomputes ObjChunks the slow way: run the real
+// executable over the real sparse source's chunks and count rows.
+func bruteChunks(t *testing.T, f *Fleet, ci, beginMin, endMin, chunkSec int) float64 {
+	t.Helper()
+	cam := f.Cams[ci]
+	fps := int64(f.Cfg.FPS)
+	beginF := int64(beginMin) * 60 * fps
+	endF := int64(endMin) * 60 * fps
+	if endF > f.Frames {
+		endF = f.Frames
+	}
+	split := video.Split{
+		Source:      cam.Source,
+		Interval:    vtime.Interval{Start: beginF, End: endF},
+		ChunkFrames: int64(chunkSec) * fps,
+	}
+	exec := ObjExecutable()
+	total := 0.0
+	for i := int64(0); i < split.NumChunks(); i++ {
+		total += float64(len(exec(split.ChunkAt(i))))
+	}
+	return total
+}
+
+func TestOracleMatchesExecutable(t *testing.T) {
+	f := NewFleet(FleetConfig{Cameras: 4, Seed: 99, Minutes: 5})
+	for ci := range f.Cams {
+		for _, w := range [][3]int{{0, 5, 30}, {1, 3, 30}, {2, 5, 60}, {0, 1, 30}, {4, 5, 30}} {
+			got := f.ObjChunks(ci, w[0], w[1], w[2])
+			want := bruteChunks(t, f, ci, w[0], w[1], w[2])
+			if got != want {
+				t.Errorf("cam %d window [%d,%d)m chunk %ds: oracle %v, executable %v",
+					ci, w[0], w[1], w[2], got, want)
+			}
+		}
+	}
+}
+
+func TestOracleBucketsSumToTotal(t *testing.T) {
+	f := NewFleet(FleetConfig{Cameras: 3, Seed: 5, Minutes: 6})
+	for ci := range f.Cams {
+		buckets := f.ObjChunksByBucket(ci, 0, 6, 30, 60)
+		// The key set is data-independent: every minute of the window,
+		// empty or not (mirroring the engine's bucket enumeration).
+		if len(buckets) != 6 {
+			t.Errorf("cam %d: %d buckets, want 6", ci, len(buckets))
+		}
+		sum := 0.0
+		for b, v := range buckets {
+			if b%60 != 0 {
+				t.Errorf("cam %d: bucket %d not aligned to 60s", ci, b)
+			}
+			sum += v
+		}
+		if total := f.ObjChunks(ci, 0, 6, 30); sum != total {
+			t.Errorf("cam %d: bucket sum %v != total %v", ci, sum, total)
+		}
+	}
+}
+
+func TestMaxRowsPerChunkBounds(t *testing.T) {
+	f := NewFleet(FleetConfig{Cameras: 5, Seed: 11, Minutes: 4})
+	maxRows := f.MaxRowsPerChunk(30)
+	if maxRows < 1 {
+		t.Fatalf("MaxRowsPerChunk = %d", maxRows)
+	}
+	exec := ObjExecutable()
+	for _, cam := range f.Cams {
+		split := video.Split{
+			Source:      cam.Source,
+			Interval:    vtime.Interval{Start: 0, End: f.Frames},
+			ChunkFrames: int64(30 * f.Cfg.FPS),
+		}
+		for i := int64(0); i < split.NumChunks(); i++ {
+			if n := len(exec(split.ChunkAt(i))); n > maxRows {
+				t.Fatalf("cam %s chunk %d: %d rows > declared max %d", cam.Name, i, n, maxRows)
+			}
+		}
+	}
+}
+
+// TestScenarioSmoke runs one small clean scenario end to end so the
+// plain `go test ./...` sweep exercises the full sim path; the seed
+// matrix lives in TestSoak.
+func TestScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke skipped in -short (TestSoak covers the matrix)")
+	}
+	rep := Run(t, Scenario{
+		Fleet:    FleetConfig{Cameras: 6, Seed: 1, Minutes: 3},
+		Workload: WorkloadConfig{Analysts: 3, OpsPerAnalyst: 3, StandingQueries: 1},
+		StateDir: t.TempDir(),
+	})
+	if rep.Done == 0 {
+		t.Fatalf("no ops completed: %+v", rep)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// Reproduction flags: any failure report names a seed and chaos mode;
+//
+//	go test ./internal/sim -run TestSoak -seed=123 -chaos
+//
+// re-runs exactly that scenario (same fleet, same plan, same chaos
+// schedule, same ground truths).
+var (
+	seedFlag  = flag.Int64("seed", 0, "run TestSoak for this single seed only")
+	chaosFlag = flag.Bool("chaos", false, "with -seed: enable the chaos layer")
+)
+
+// soakScenario builds the canonical soak scenario for a seed. Short
+// mode: a dozens-of-cameras fleet sized so the full 2×20-seed matrix
+// stays CI-cheap. Long mode (PRIVID_SIM_LONG=1, nightly): a
+// 1000-camera fleet under full chaos.
+func soakScenario(t *testing.T, seed int64, chaos, long bool) Scenario {
+	sc := Scenario{
+		Fleet:        FleetConfig{Cameras: 24, Seed: seed, Minutes: 3},
+		Workload:     WorkloadConfig{Analysts: 5, OpsPerAnalyst: 4, StandingQueries: 2},
+		StateDir:     t.TempDir(),
+		DiskCacheDir: t.TempDir(),
+	}
+	if long {
+		sc.Fleet.Cameras = 1000
+		sc.Fleet.Minutes = 5
+		sc.Workload = WorkloadConfig{Analysts: 10, OpsPerAnalyst: 10, StandingQueries: 4}
+	}
+	if chaos {
+		sc.Chaos = ChaosConfig{
+			Restarts:    1,
+			Crashes:     1,
+			TornWAL:     true,
+			HungExec:    true,
+			CacheThrash: true,
+		}
+		if long {
+			sc.Chaos.Restarts = 2
+			sc.Chaos.Crashes = 2
+		}
+	}
+	return sc
+}
+
+func runSoak(t *testing.T, seed int64, chaos, long bool) {
+	rep := Run(t, soakScenario(t, seed, chaos, long))
+	t.Logf("seed %d chaos=%v: %d cams, %d events, ops %d (done %d failed %d denied %d lost %d), "+
+		"standing releases %d, restarts %d crashes %d, violations %d",
+		rep.Seed, chaos, rep.Cameras, rep.Events, rep.Ops, rep.Done, rep.Failed,
+		rep.Denied, rep.Lost, rep.StandingReleases, rep.Restarts, rep.Crashes,
+		len(rep.Violations))
+	if rep.Done == 0 {
+		t.Errorf("seed %d: no ops completed", rep.Seed)
+	}
+	if !chaos && rep.Denied == 0 && rep.Cameras > 1 {
+		t.Errorf("seed %d: exhaustion probe never bounced", rep.Seed)
+	}
+}
+
+// TestSoak is the invariant-checked seed matrix. Every subtest runs a
+// full mixed workload against a real stack and asserts all four
+// invariant classes; chaos variants add restarts, crashes, torn WAL
+// writes, cache thrash and hung executables on top.
+func TestSoak(t *testing.T) {
+	long := os.Getenv("PRIVID_SIM_LONG") != ""
+	if *seedFlag != 0 {
+		runSoak(t, *seedFlag, *chaosFlag, long)
+		return
+	}
+	seeds := 20
+	if long {
+		seeds = 2 // 1000-camera fleets; nightly budget
+	}
+	for s := 1; s <= seeds; s++ {
+		for _, chaos := range []bool{false, true} {
+			if long && !chaos {
+				continue // long mode is the chaos soak
+			}
+			seed, chaos := int64(s), chaos
+			t.Run(fmt.Sprintf("seed=%d/chaos=%v", seed, chaos), func(t *testing.T) {
+				t.Parallel()
+				runSoak(t, seed, chaos, long)
+			})
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FatalError is what RuntimeTB.Fatalf panics with, so a non-test
+// driver (cmd/privid-sim) can recover it, run cleanups and exit
+// non-zero instead of crashing with a stack trace.
+type FatalError struct{ Msg string }
+
+func (e FatalError) Error() string { return e.Msg }
+
+// RuntimeTB satisfies harness.TB outside `go test`: cmd/privid-sim
+// drives the same scenario code a test would, logging through Log and
+// collecting failures instead of aborting on the first Errorf.
+type RuntimeTB struct {
+	// Log receives every Logf/Errorf/Fatalf line; nil discards.
+	Log func(format string, args ...any)
+
+	mu       sync.Mutex
+	cleanups []func()
+	failed   bool
+}
+
+func (t *RuntimeTB) Helper() {}
+
+func (t *RuntimeTB) Cleanup(fn func()) {
+	t.mu.Lock()
+	t.cleanups = append(t.cleanups, fn)
+	t.mu.Unlock()
+}
+
+func (t *RuntimeTB) Logf(format string, args ...any) {
+	if t.Log != nil {
+		t.Log(format, args...)
+	}
+}
+
+func (t *RuntimeTB) Errorf(format string, args ...any) {
+	t.mu.Lock()
+	t.failed = true
+	t.mu.Unlock()
+	t.Logf("ERROR: "+format, args...)
+}
+
+func (t *RuntimeTB) Fatalf(format string, args ...any) {
+	t.mu.Lock()
+	t.failed = true
+	t.mu.Unlock()
+	t.Logf("FATAL: "+format, args...)
+	panic(FatalError{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Failed reports whether any Errorf/Fatalf fired.
+func (t *RuntimeTB) Failed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed
+}
+
+// RunCleanups runs registered cleanups in LIFO order (like testing.T).
+func (t *RuntimeTB) RunCleanups() {
+	t.mu.Lock()
+	fns := t.cleanups
+	t.cleanups = nil
+	t.mu.Unlock()
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+}

@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// WorkloadConfig parameterizes the mixed-workload plan.
+type WorkloadConfig struct {
+	// Analysts is the number of concurrent ground-truth analysts.
+	Analysts int
+	// OpsPerAnalyst is each analyst's one-shot query count.
+	OpsPerAnalyst int
+	// StandingQueries is the number of standing minute-bucket queries
+	// (each driven concurrently by two goroutines, on camera index =
+	// query index).
+	StandingQueries int
+	// AdvancesPerStanding is how many Advance steps each standing
+	// query takes before the final flush advance.
+	AdvancesPerStanding int
+	// ChunkSec is the SPLIT chunk size. 0 uses 30.
+	ChunkSec int
+	// Seed derives the plan. 0 uses the fleet seed.
+	Seed int64
+}
+
+func (c WorkloadConfig) withDefaults(fleetSeed int64) WorkloadConfig {
+	if c.Analysts == 0 {
+		c.Analysts = 4
+	}
+	if c.OpsPerAnalyst == 0 {
+		c.OpsPerAnalyst = 5
+	}
+	if c.AdvancesPerStanding == 0 {
+		c.AdvancesPerStanding = 3
+	}
+	if c.ChunkSec == 0 {
+		c.ChunkSec = 30
+	}
+	if c.Seed == 0 {
+		c.Seed = fleetSeed
+	}
+	return c
+}
+
+type opKind int
+
+const (
+	opCount opKind = iota // single-camera COUNT(*), ground-truth-checked
+	opMulti               // multi-camera SPLIT/merge COUNT(*), ground-truth-checked
+	opHang                // hanging-executable query (chaos), charges only
+	opDrain               // budget-exhaustion probe on the drain camera
+)
+
+func (k opKind) String() string {
+	return [...]string{"count", "multi", "hang", "drain"}[k]
+}
+
+// op is one planned one-shot query.
+type op struct {
+	Kind     opKind
+	Analyst  string
+	Cams     []int // fleet camera indices
+	BeginMin int
+	EndMin   int
+	Eps      float64
+	// WantDenied marks exhaustion probes that must bounce.
+	WantDenied bool
+}
+
+// standingPlan is one planned standing query: minute buckets over the
+// full stream on one dedicated camera, advanced at AdvanceAt times by
+// two goroutines racing the same schedule.
+type standingPlan struct {
+	Cam       int
+	Eps       float64
+	BinSec    int
+	AdvanceAt []time.Time // includes the final flush past stream end
+}
+
+// plan is the full deterministic workload: per-analyst op lists, the
+// drain sequence, background fire-and-forget load (chaos only), and
+// standing schedules. Same fleet+config ⇒ identical plan.
+type plan struct {
+	Analysts [][]op
+	Drain    []op // executed serially by one analyst
+	Bg       []op // submitted without waiting (chaos only)
+	Standing []standingPlan
+	ChunkSec int
+	MaxRows  int
+	TotalOps int // Analysts ops + Drain ops (chaos thresholds key off this)
+}
+
+// newPlan derives the workload plan from the fleet. Ground-truth
+// analysts draw from cameras [0, N-2]; camera N-1 is reserved for the
+// exhaustion probes so their denials are deterministic.
+func newPlan(f *Fleet, cfg WorkloadConfig, chaos ChaosConfig) *plan {
+	cfg = cfg.withDefaults(f.Cfg.Seed)
+	rng := rand.New(rand.NewSource(mix64(cfg.Seed ^ 0x5157)))
+	p := &plan{ChunkSec: cfg.ChunkSec, MaxRows: f.MaxRowsPerChunk(cfg.ChunkSec)}
+	minutes := f.Cfg.Minutes
+	nCams := len(f.Cams)
+	gtCams := nCams - 1 // ground-truth pool; last camera drains
+	if gtCams < 1 {
+		gtCams = nCams
+	}
+
+	// Per-camera planned spend stays under half the budget so no
+	// ground-truth op can be denied (admission headroom includes the
+	// rho margin; 0.5ε leaves plenty).
+	planned := make([]float64, nCams)
+	budget := f.Cfg.Epsilon * 0.5
+	pickCam := func(eps float64) int {
+		for try := 0; try < 8; try++ {
+			c := rng.Intn(gtCams)
+			if planned[c]+eps <= budget {
+				planned[c] += eps
+				return c
+			}
+		}
+		return -1
+	}
+	window := func() (int, int) {
+		b := rng.Intn(minutes)
+		maxSpan := minutes - b
+		if maxSpan > 3 {
+			maxSpan = 3
+		}
+		return b, b + 1 + rng.Intn(maxSpan)
+	}
+
+	for a := 0; a < cfg.Analysts; a++ {
+		name := fmt.Sprintf("analyst%d", a)
+		var ops []op
+		for i := 0; i < cfg.OpsPerAnalyst; i++ {
+			eps := 0.02 + rng.Float64()*0.08
+			b, e := window()
+			o := op{Kind: opCount, Analyst: name, BeginMin: b, EndMin: e, Eps: eps}
+			switch {
+			case chaos.HungExec && (a+i)%7 == 3:
+				o.Kind = opHang
+			case rng.Float64() < 0.35 && gtCams >= 3:
+				o.Kind = opMulti
+			}
+			n := 1
+			if o.Kind == opMulti {
+				n = 2 + rng.Intn(2)
+			}
+			for len(o.Cams) < n {
+				c := pickCam(eps)
+				if c < 0 {
+					break
+				}
+				dup := false
+				for _, prev := range o.Cams {
+					if prev == c {
+						dup = true
+					}
+				}
+				if !dup {
+					o.Cams = append(o.Cams, c)
+				}
+			}
+			if len(o.Cams) == 0 {
+				continue // fleet too loaded; drop deterministically
+			}
+			ops = append(ops, o)
+		}
+		p.Analysts = append(p.Analysts, ops)
+		p.TotalOps += len(ops)
+	}
+
+	// Exhaustion probes: charge 60%, bounce 60%, then 30% fits again —
+	// denial and repair in one serial sequence.
+	if nCams > 1 {
+		drainCam := nCams - 1
+		e := f.Cfg.Epsilon
+		mk := func(eps float64, denied bool) op {
+			return op{Kind: opDrain, Analyst: "drainer", Cams: []int{drainCam},
+				BeginMin: 0, EndMin: min(2, minutes), Eps: eps, WantDenied: denied}
+		}
+		p.Drain = []op{mk(0.6*e, false), mk(0.6*e, true), mk(0.3*e, false)}
+		p.TotalOps += len(p.Drain)
+	}
+
+	// Background fire-and-forget load so crashes interrupt jobs that
+	// are genuinely in flight.
+	if chaos.enabled() {
+		n := p.TotalOps / 3
+		for i := 0; i < n; i++ {
+			eps := 0.01 + rng.Float64()*0.03
+			b, e := window()
+			c := pickCam(eps)
+			if c < 0 {
+				continue
+			}
+			p.Bg = append(p.Bg, op{Kind: opCount, Analyst: "background",
+				Cams: []int{c}, BeginMin: b, EndMin: e, Eps: eps})
+		}
+	}
+
+	streamEnd := f.Start.Add(time.Duration(minutes) * time.Minute)
+	for s := 0; s < cfg.StandingQueries && s < gtCams; s++ {
+		sp := standingPlan{Cam: s, Eps: 0.4, BinSec: 60}
+		step := time.Duration(minutes) * time.Minute / time.Duration(cfg.AdvancesPerStanding)
+		for j := 1; j <= cfg.AdvancesPerStanding; j++ {
+			sp.AdvanceAt = append(sp.AdvanceAt, f.Start.Add(time.Duration(j)*step))
+		}
+		// Final flush: everything has elapsed.
+		sp.AdvanceAt = append(sp.AdvanceAt, streamEnd.Add(2*time.Minute))
+		p.Standing = append(p.Standing, sp)
+	}
+	return p
+}
+
+// tsLiteral renders a minute offset from the stream start as a query
+// timestamp literal (MM-DD-YYYY/H:MMam).
+func tsLiteral(minOffset int) string {
+	ts := streamStart.Add(time.Duration(minOffset) * time.Minute)
+	hour := ts.Hour() % 12
+	if hour == 0 {
+		hour = 12
+	}
+	ampm := "am"
+	if ts.Hour() >= 12 {
+		ampm = "pm"
+	}
+	return fmt.Sprintf("%02d-%02d-%d/%d:%02d%s",
+		int(ts.Month()), ts.Day(), ts.Year(), hour, ts.Minute(), ampm)
+}
+
+// queryText renders the op as a Privid program against the fleet.
+func (o op) queryText(f *Fleet, chunkSec, maxRows int) string {
+	cams := make([]string, len(o.Cams))
+	for i, c := range o.Cams {
+		cams[i] = f.Cams[c].Name
+	}
+	exec := "simobj"
+	timeout := "5sec"
+	if o.Kind == opHang {
+		exec = "simhang"
+		timeout = "1sec"
+	}
+	return fmt.Sprintf(`
+SPLIT %s BEGIN %s END %s BY TIME %dsec STRIDE 0sec INTO chunks;
+PROCESS chunks USING %s TIMEOUT %s PRODUCING %d ROWS
+  WITH SCHEMA (id:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM t CONSUMING %g;`,
+		strings.Join(cams, ", "), tsLiteral(o.BeginMin), tsLiteral(o.EndMin),
+		chunkSec, exec, timeout, maxRows, o.Eps)
+}
+
+// standingText renders the standing query program: COUNT(*) per
+// minute bucket over the full stream.
+func (sp standingPlan) standingText(f *Fleet, chunkSec, maxRows int) string {
+	return fmt.Sprintf(`
+SPLIT %s BEGIN %s END %s BY TIME %dsec STRIDE 0sec INTO chunks;
+PROCESS chunks USING simobj TIMEOUT 5sec PRODUCING %d ROWS
+  WITH SCHEMA (id:NUMBER=0) INTO t;
+SELECT COUNT(*) FROM (SELECT bin(chunk, %d) AS m FROM t) GROUP BY m CONSUMING %g;`,
+		f.Cams[sp.Cam].Name, tsLiteral(0), tsLiteral(f.Cfg.Minutes),
+		chunkSec, maxRows, sp.BinSec, sp.Eps)
+}
+
+// expectedGroundTruth is the closed-form COUNT(*) the op's single
+// release must report as its Raw value.
+func (o op) expectedGroundTruth(f *Fleet, chunkSec int) float64 {
+	total := 0.0
+	for _, c := range o.Cams {
+		total += f.ObjChunks(c, o.BeginMin, o.EndMin, chunkSec)
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

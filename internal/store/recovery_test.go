@@ -1,60 +1,19 @@
-package store
+package store_test
 
 import (
 	"errors"
 	"fmt"
 	"testing"
+
+	"privid/internal/store"
+	"privid/internal/store/storetest"
 )
 
-// faultyFile wraps the WAL's file handle and fails on command,
-// simulating a crash mid-commit: short writes (torn records), write
-// errors, failing fsyncs, and a failing rollback truncate (so the torn
-// bytes stay on disk, as after a power loss).
-type faultyFile struct {
-	File
-	// failWriteAfter injects a write error after passing this many
-	// bytes of the next write through (-1 = writes succeed).
-	failWriteAfter int
-	// failSync makes Sync return an error (the bytes of prior writes
-	// may or may not be durable — here they are, which recovery must
-	// tolerate).
-	failSync bool
-	// failTruncate makes the post-error rollback fail, leaving the
-	// torn record on disk.
-	failTruncate bool
-}
+// The faulty-File injector itself lives in storetest so the sim chaos
+// layer can reuse it; these tests exercise it against the real WAL.
 
-var errInjected = errors.New("injected I/O failure")
-
-func (f *faultyFile) Write(p []byte) (int, error) {
-	if f.failWriteAfter < 0 {
-		return f.File.Write(p)
-	}
-	n := f.failWriteAfter
-	if n > len(p) {
-		n = len(p)
-	}
-	if n > 0 {
-		if _, err := f.File.Write(p[:n]); err != nil {
-			return 0, err
-		}
-		f.File.Sync() // make the torn prefix durable, like a power cut mid-page
-	}
-	return n, errInjected
-}
-
-func (f *faultyFile) Sync() error {
-	if f.failSync {
-		return errInjected
-	}
-	return f.File.Sync()
-}
-
-func (f *faultyFile) Truncate(size int64) error {
-	if f.failTruncate {
-		return errInjected
-	}
-	return f.File.Truncate(size)
+func chargeRec(cam string, s, e int64, eps float64) store.Record {
+	return store.Record{Charge: &store.ChargeRecord{Camera: cam, Start: s, End: e, Eps: eps, Query: "q"}}
 }
 
 // TestCrashRecoveryMatrix is the satellite crash matrix: commit some
@@ -67,22 +26,31 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 	const eps = 10.0
 	cases := []struct {
 		name  string
-		fault func(*faultyFile)
+		fault func(*storetest.FaultyFile)
 	}{
-		{"write-fails-immediately", func(f *faultyFile) { f.failWriteAfter = 0 }},
-		{"write-torn-midrecord", func(f *faultyFile) { f.failWriteAfter = 13; f.failTruncate = true }},
-		{"write-torn-rollback-ok", func(f *faultyFile) { f.failWriteAfter = 13 }},
-		{"fsync-fails-bytes-durable", func(f *faultyFile) { f.failSync = true }},
+		{"write-fails-immediately", func(f *storetest.FaultyFile) { f.TearNextWrite(0) }},
+		{"write-torn-midrecord", func(f *storetest.FaultyFile) {
+			f.Mu.Lock()
+			f.FailWriteAfter = 13
+			f.FailTruncate = true
+			f.Mu.Unlock()
+		}},
+		{"write-torn-rollback-ok", func(f *storetest.FaultyFile) { f.TearNextWrite(13) }},
+		{"fsync-fails-bytes-durable", func(f *storetest.FaultyFile) {
+			f.Mu.Lock()
+			f.FailSync = true
+			f.Mu.Unlock()
+		}},
 	}
 	for _, group := range []bool{false, true} {
 		for _, tc := range cases {
 			t.Run(fmt.Sprintf("group=%v/%s", group, tc.name), func(t *testing.T) {
 				dir := t.TempDir()
-				var ff *faultyFile
-				w, err := Open(dir, Options{
+				var ff *storetest.FaultyFile
+				w, err := store.Open(dir, store.Options{
 					GroupCommit: group,
-					WrapFile: func(f File) File {
-						ff = &faultyFile{File: f, failWriteAfter: -1}
+					WrapFile: func(f store.File) store.File {
+						ff = storetest.Wrap(f)
 						return ff
 					},
 				})
@@ -93,7 +61,7 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 				// Acked spent: only charges whose Commit returned nil.
 				acked := map[int64]float64{}
 				commit := func(s, e int64, c float64) bool {
-					if err := w.Commit(charge("camA", s, e, c)); err != nil {
+					if err := w.Commit(chargeRec("camA", s, e, c)); err != nil {
 						return false
 					}
 					for fr := s; fr < e; fr++ {
@@ -113,21 +81,21 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 
 				// Crash: abandon w. Restart, repairing a torn tail if
 				// the store refuses to open.
-				w2, err := Open(dir, Options{})
+				w2, err := store.Open(dir, store.Options{})
 				if err != nil {
-					var ce *CorruptError
+					var ce *store.CorruptError
 					if !errors.As(err, &ce) {
 						t.Fatalf("reopen: %v", err)
 					}
-					if _, err := Repair(dir); err != nil {
+					if _, err := store.Repair(dir); err != nil {
 						t.Fatalf("repair: %v", err)
 					}
-					if w2, err = Open(dir, Options{}); err != nil {
+					if w2, err = store.Open(dir, store.Options{}); err != nil {
 						t.Fatalf("reopen after repair: %v", err)
 					}
 				}
 				defer w2.Close()
-				st, err := ReadState(dir, 0)
+				st, err := store.ReadState(dir, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -141,7 +109,7 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 				// The store self-heals (rolled back) or poisoned
 				// itself; either way the restarted store must accept
 				// new commits.
-				if err := w2.Commit(charge("camA", 0, 1, 0.1)); err != nil {
+				if err := w2.Commit(chargeRec("camA", 0, 1, 0.1)); err != nil {
 					t.Fatalf("post-recovery commit: %v", err)
 				}
 			})
@@ -154,31 +122,31 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 // bytes must not corrupt later records.
 func TestFaultyCommitThenHealedCommit(t *testing.T) {
 	dir := t.TempDir()
-	var ff *faultyFile
-	w, err := Open(dir, Options{
-		WrapFile: func(f File) File {
-			ff = &faultyFile{File: f, failWriteAfter: -1}
+	var ff *storetest.FaultyFile
+	w, err := store.Open(dir, store.Options{
+		WrapFile: func(f store.File) store.File {
+			ff = storetest.Wrap(f)
 			return ff
 		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Commit(charge("camA", 0, 10, 0.5)); err != nil {
+	if err := w.Commit(chargeRec("camA", 0, 10, 0.5)); err != nil {
 		t.Fatal(err)
 	}
-	ff.failWriteAfter = 7 // torn write, rollback succeeds
-	if err := w.Commit(charge("camA", 0, 10, 1.0)); err == nil {
+	ff.TearNextWrite(7) // torn write, rollback succeeds
+	if err := w.Commit(chargeRec("camA", 0, 10, 1.0)); err == nil {
 		t.Fatal("faulty commit acked")
 	}
-	ff.failWriteAfter = -1
-	if err := w.Commit(charge("camA", 0, 10, 0.25)); err != nil {
+	ff.Heal()
+	if err := w.Commit(chargeRec("camA", 0, 10, 0.25)); err != nil {
 		t.Fatalf("healed commit: %v", err)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	st, err := ReadState(dir, 0)
+	st, err := store.ReadState(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

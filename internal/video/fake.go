@@ -1,0 +1,109 @@
+package video
+
+import (
+	"sort"
+	"time"
+
+	"privid/internal/geom"
+	"privid/internal/scene"
+	"privid/internal/vtime"
+)
+
+// FakeObject is one synthetic object's continuous visibility span in
+// an IntervalSource: it exists on every frame of [Enter, Exit) with a
+// fixed box, and nowhere else. Visibility is the whole behavioral
+// surface Privid queries see, so a list of FakeObjects defines a
+// stream whose every windowed aggregate is computable in closed form —
+// the fake-source idiom the sim fleet's ground-truth invariant is
+// built on (cf. the rdk fake-camera test doubles).
+type FakeObject struct {
+	ID          int
+	Class       scene.Class
+	Enter, Exit int64 // visible on frames [Enter, Exit)
+	Box         geom.Rect
+}
+
+// IntervalSource is a deterministic Source backed by interval-visible
+// objects. The zero box is fine for executables that only count.
+//
+// Frame materializes observations lazily (no per-frame storage), so a
+// 1000-camera fleet costs memory proportional to its event list, not
+// its frame count.
+type IntervalSource struct {
+	Camera string
+	W, H   float64
+	FPS    vtime.FrameRate
+	Start  time.Time
+	Frames int64
+	// Objects must be sorted by Enter (Sort below); Frame binary
+	// searches it.
+	Objects []FakeObject
+
+	// maxSpan caches the longest Exit-Enter, bounding the backward
+	// scan in Frame.
+	maxSpan int64
+}
+
+// Sort orders Objects by Enter and computes the scan bound. Call it
+// once after assembling Objects (constructors in internal/sim do).
+func (s *IntervalSource) Sort() {
+	sort.Slice(s.Objects, func(i, j int) bool { return s.Objects[i].Enter < s.Objects[j].Enter })
+	s.maxSpan = 0
+	for _, o := range s.Objects {
+		if span := o.Exit - o.Enter; span > s.maxSpan {
+			s.maxSpan = span
+		}
+	}
+}
+
+// Info implements Source.
+func (s *IntervalSource) Info() Info {
+	return Info{Camera: s.Camera, W: s.W, H: s.H, FPS: s.FPS, Start: s.Start, Frames: s.Frames}
+}
+
+// Frame implements Source: all objects whose span covers i.
+func (s *IntervalSource) Frame(i int64) Frame {
+	// First object that could still cover i: Enter > i - maxSpan - 1.
+	lo := sort.Search(len(s.Objects), func(k int) bool {
+		return s.Objects[k].Enter > i-s.maxSpan-1
+	})
+	var obs []scene.Observation
+	for k := lo; k < len(s.Objects) && s.Objects[k].Enter <= i; k++ {
+		o := s.Objects[k]
+		if i < o.Exit {
+			obs = append(obs, scene.Observation{EntityID: o.ID, Class: o.Class, Box: o.Box})
+		}
+	}
+	return Frame{Index: i, Objects: obs}
+}
+
+// SparseIntervalSource is an IntervalSource that additionally
+// implements SparseSource, letting Split.ActiveChunks skip chunks in
+// which nothing is ever visible. Use it only with executables whose
+// output is empty on empty chunks — skipping must be invisible in
+// query results (the cache-invisibility rule applies to sparse
+// skipping too).
+type SparseIntervalSource struct {
+	IntervalSource
+}
+
+// ActiveIntervals implements SparseSource: the merged object spans
+// clipped to iv.
+func (s *SparseIntervalSource) ActiveIntervals(iv vtime.Interval) []vtime.Interval {
+	var out []vtime.Interval
+	// Objects are Enter-sorted, so merged spans build up in order.
+	for _, o := range s.Objects {
+		span := vtime.Interval{Start: o.Enter, End: o.Exit}.Intersect(iv)
+		if span.Empty() {
+			continue
+		}
+		if n := len(out); n > 0 && span.Start <= out[n-1].End {
+			if span.End > out[n-1].End {
+				out[n-1].End = span.End
+			}
+			continue
+		}
+		out = append(out, span)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"privid/internal/scene"
+	"privid/internal/vtime"
+)
+
+// randomFake builds a random interval source and a brute-force
+// per-frame visibility oracle.
+func randomFake(seed int64, frames int64, n int) (*SparseIntervalSource, [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	s := &SparseIntervalSource{IntervalSource: IntervalSource{
+		Camera: "fake", W: 100, H: 100, FPS: 10,
+		Start:  time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC),
+		Frames: frames,
+	}}
+	visible := make([][]int, frames)
+	for id := 0; id < n; id++ {
+		enter := rng.Int63n(frames)
+		exit := enter + 1 + rng.Int63n(40)
+		if exit > frames {
+			exit = frames
+		}
+		s.Objects = append(s.Objects, FakeObject{ID: id, Class: scene.Person, Enter: enter, Exit: exit})
+		for f := enter; f < exit; f++ {
+			visible[f] = append(visible[f], id)
+		}
+	}
+	s.Sort()
+	return s, visible
+}
+
+func TestIntervalSourceFrameMatchesOracle(t *testing.T) {
+	const frames = 500
+	s, visible := randomFake(7, frames, 60)
+	for f := int64(0); f < frames; f++ {
+		got := map[int]bool{}
+		for _, o := range s.Frame(f).Objects {
+			got[o.EntityID] = true
+		}
+		if len(got) != len(visible[f]) {
+			t.Fatalf("frame %d: %d objects, want %d", f, len(got), len(visible[f]))
+		}
+		for _, id := range visible[f] {
+			if !got[id] {
+				t.Fatalf("frame %d: object %d missing", f, id)
+			}
+		}
+	}
+}
+
+func TestSparseIntervalSourceActiveIntervals(t *testing.T) {
+	const frames = 500
+	s, visible := randomFake(11, frames, 20)
+	ivs := s.ActiveIntervals(vtime.Interval{Start: 0, End: frames})
+	// Disjoint, sorted, and exactly covering the frames with objects.
+	covered := map[int64]bool{}
+	last := int64(-1)
+	for _, iv := range ivs {
+		if iv.Start <= last {
+			t.Fatalf("intervals not sorted/disjoint: %v", ivs)
+		}
+		last = iv.End
+		for f := iv.Start; f < iv.End; f++ {
+			covered[f] = true
+		}
+	}
+	for f := int64(0); f < frames; f++ {
+		if (len(visible[f]) > 0) != covered[f] {
+			t.Fatalf("frame %d: visible=%v covered=%v", f, len(visible[f]) > 0, covered[f])
+		}
+	}
+}
+
+// TestSparseIntervalSourceSkipsEmptyChunks pins the contract the sim
+// fleet depends on: with an object-dependent executable, skipping
+// never-active chunks is invisible — ActiveChunks enumerates exactly
+// the chunks overlapping some object span.
+func TestSparseIntervalSourceSkipsEmptyChunks(t *testing.T) {
+	s := &SparseIntervalSource{IntervalSource: IntervalSource{
+		Camera: "fake", W: 100, H: 100, FPS: 10,
+		Start:  time.Date(2021, 3, 15, 6, 0, 0, 0, time.UTC),
+		Frames: 1000,
+		Objects: []FakeObject{
+			{ID: 0, Enter: 50, Exit: 70},
+			{ID: 1, Enter: 420, Exit: 430},
+		},
+	}}
+	s.Sort()
+	split := Split{
+		Source:      s,
+		Interval:    vtime.Interval{Start: 0, End: 1000},
+		ChunkFrames: 100,
+	}
+	ords := split.ActiveChunks()
+	if len(ords) != 2 || ords[0] != 0 || ords[1] != 4 {
+		t.Fatalf("active chunk ordinals = %v, want [0 4]", ords)
+	}
+}
